@@ -1,0 +1,74 @@
+// Command tcdmodel explores the paper's conceptual ON-OFF model without
+// running a simulation: the Fig 8 surface, the §4.3 max(Ton) table, and a
+// calculator for arbitrary deployments.
+//
+// Usage:
+//
+//	tcdmodel                         # Fig 8 surface + §4.3 table
+//	tcdmodel -rate 100e9 -eps 0.05   # max(Ton) for one deployment
+//	tcdmodel -ib -tc 40us            # InfiniBand bound
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"github.com/tcdnet/tcd/internal/core"
+	"github.com/tcdnet/tcd/internal/units"
+)
+
+func main() {
+	var (
+		rate = flag.Float64("rate", 0, "link rate in bits/s (e.g. 40e9); 0 prints the standard tables")
+		eps  = flag.Float64("eps", core.RecommendedEps, "congestion degree")
+		mtu  = flag.Int64("mtu", 1000, "MTU in bytes")
+		tp   = flag.Duration("tp", time.Microsecond, "one-way propagation delay")
+		ib   = flag.Bool("ib", false, "compute the InfiniBand bound instead (max(Ton) = Tc)")
+		tc   = flag.Duration("tc", 40*time.Microsecond, "CBFC credit update period (with -ib)")
+	)
+	flag.Parse()
+
+	if *ib {
+		tcT := units.Time(tc.Nanoseconds()) * units.Nanosecond
+		fmt.Printf("InfiniBand: max(Ton) = Tc = %v\n", core.MaxTonIB(tcT))
+		fmt.Printf("example Ton at Rd=C/2, eps=%.2g: %v\n",
+			*eps, core.TonIB(units.Rate(*rate)/2, tcT, *eps, units.Rate(*rate)))
+		return
+	}
+
+	if *rate > 0 {
+		p := core.CEEParams(units.ByteSize(*mtu), units.Rate(*rate),
+			units.Time(tp.Nanoseconds())*units.Nanosecond)
+		fmt.Printf("CEE deployment: C=%v MTU=%dB tp=%v eps=%.3g\n",
+			units.Rate(*rate), *mtu, *tp, *eps)
+		fmt.Printf("  tau      = %v\n", p.Tau)
+		fmt.Printf("  max(Ton) = %v\n", core.MaxTonCEE(p, *eps))
+		return
+	}
+
+	fmt.Println("== §4.3 max(Ton) table (eps=0.05, MTU=1000B, tp=1us) ==")
+	for _, c := range []units.Rate{40 * units.Gbps, 100 * units.Gbps, 200 * units.Gbps} {
+		p := core.CEEParams(1000, c, units.Microsecond)
+		fmt.Printf("  %8v: tau=%-8v max(Ton)=%v\n", c, p.Tau, core.MaxTonCEE(p, core.RecommendedEps))
+	}
+
+	fmt.Println("\n== Fig 8: Ton(eps, Rd) at tau=8us, C=40Gbps ==")
+	p := core.ModelParams{C: 40 * units.Gbps, B1MinusB0: 2 * units.KB, Tau: 8 * units.Microsecond}
+	epsGrid := []float64{0.01, 0.02, 0.05, 0.1, 0.2, 0.5}
+	rdGrid := []units.Rate{2 * units.Gbps, 5 * units.Gbps, 10 * units.Gbps, 15 * units.Gbps, 20 * units.Gbps}
+	fmt.Printf("%8s", "eps\\Rd")
+	for _, rd := range rdGrid {
+		fmt.Printf("%12v", rd)
+	}
+	fmt.Println()
+	for _, e := range epsGrid {
+		fmt.Printf("%8.2f", e)
+		for _, rd := range rdGrid {
+			fmt.Printf("%12v", core.Ton(p, rd, e))
+		}
+		fmt.Println()
+	}
+	fmt.Printf("\nflat plane (max(Ton) at eps=%.2f): %v\n",
+		core.RecommendedEps, core.MaxTonCEE(p, core.RecommendedEps))
+}

@@ -1,0 +1,333 @@
+// Command tcdsim runs the paper's experiments on the simulator and
+// prints the rows/series each table or figure reports.
+//
+// Usage:
+//
+//	tcdsim -list
+//	tcdsim -exp fig3 -fabric cee
+//	tcdsim -exp table3 -horizon 60ms
+//	tcdsim -exp fig16 -k 10 -flows 40000 -workload hadoop -full
+//	tcdsim -exp fig12 -series P2_queue
+//
+// Experiments run at a laptop-friendly scale by default; -full raises
+// the paper-scale parameters (k=10/16 fat-trees, tens of thousands of
+// flows) at the cost of minutes of wall time.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/tcdnet/tcd/internal/exp"
+	"github.com/tcdnet/tcd/internal/fabric"
+	"github.com/tcdnet/tcd/internal/units"
+)
+
+type options struct {
+	fabric   exp.FabricKind
+	seed     uint64
+	horizon  units.Time
+	full     bool
+	k        int
+	flows    int
+	workload string
+	series   string
+	voq      bool
+	runs     int
+}
+
+type runner struct {
+	name string
+	desc string
+	run  func(o options) []*exp.Result
+}
+
+func runners() []runner {
+	return []runner{
+		{"fig3", "single congestion point, baseline detectors (ECN/FECN)", func(o options) []*exp.Result {
+			cfg := exp.DefaultObserveConfig(o.fabric, exp.DetBaseline, false)
+			cfg.Seed = o.seed
+			applyArch(&cfg, o)
+			applyHorizon(&cfg.Horizon, o)
+			return []*exp.Result{exp.Observe(cfg)}
+		}},
+		{"fig4", "multiple congestion points, baseline detectors", func(o options) []*exp.Result {
+			cfg := exp.DefaultObserveConfig(o.fabric, exp.DetBaseline, true)
+			cfg.Seed = o.seed
+			applyArch(&cfg, o)
+			applyHorizon(&cfg.Horizon, o)
+			return []*exp.Result{exp.Observe(cfg)}
+		}},
+		{"fig8", "conceptual ON-OFF model surface Ton(eps, Rd)", func(o options) []*exp.Result {
+			return []*exp.Result{exp.Fig8(), exp.Section43Table()}
+		}},
+		{"fig11", "testbed marking staircase (UE/CE fractions over time)", func(o options) []*exp.Result {
+			cfg := exp.DefaultTestbedConfig(o.fabric)
+			cfg.Seed = o.seed
+			applyHorizon(&cfg.Horizon, o)
+			if o.full {
+				cfg.Horizon = 400 * units.Millisecond
+				cfg.Bin = 20 * units.Millisecond
+			}
+			return []*exp.Result{exp.Testbed(cfg)}
+		}},
+		{"fig12", "single congestion point with TCD (und -> non-congestion)", func(o options) []*exp.Result {
+			cfg := exp.DefaultObserveConfig(o.fabric, exp.DetTCD, false)
+			cfg.Seed = o.seed
+			applyArch(&cfg, o)
+			applyHorizon(&cfg.Horizon, o)
+			return []*exp.Result{exp.Observe(cfg)}
+		}},
+		{"fig13", "multiple congestion points with TCD (und -> congestion)", func(o options) []*exp.Result {
+			cfg := exp.DefaultObserveConfig(o.fabric, exp.DetTCD, true)
+			cfg.Seed = o.seed
+			applyArch(&cfg, o)
+			applyHorizon(&cfg.Horizon, o)
+			return []*exp.Result{exp.Observe(cfg)}
+		}},
+		{"table3", "victim flows marked CE under ECN/FECN/TCD", func(o options) []*exp.Result {
+			h := o.horizon
+			if o.full {
+				h = 120 * units.Millisecond
+			}
+			if o.runs <= 1 {
+				res, _ := exp.Table3(h, o.seed)
+				return []*exp.Result{res}
+			}
+			// Seed sweep: report min/mean/max per scheme to expose the
+			// regime noise EXPERIMENTS.md documents.
+			agg := exp.NewResult(fmt.Sprintf("table3-sweep-%d-seeds", o.runs))
+			sums := map[string][]float64{}
+			for i := 0; i < o.runs; i++ {
+				_, rows := exp.Table3(h, o.seed+uint64(i))
+				for _, r := range rows {
+					sums[r.Scheme] = append(sums[r.Scheme], r.Fraction)
+				}
+			}
+			for scheme, vals := range sums {
+				lo, hi, sum := vals[0], vals[0], 0.0
+				for _, v := range vals {
+					if v < lo {
+						lo = v
+					}
+					if v > hi {
+						hi = v
+					}
+					sum += v
+				}
+				agg.Scalars[scheme+" mean"] = sum / float64(len(vals))
+				agg.AddNote("%-10s min=%.3f mean=%.3f max=%.3f over %d seeds",
+					scheme, lo, sum/float64(len(vals)), hi, o.runs)
+			}
+			return []*exp.Result{agg}
+		}},
+		{"fig14", "sensitivity of the TCD parameter eps", func(o options) []*exp.Result {
+			h := o.horizon
+			if o.full {
+				h = 60 * units.Millisecond
+			}
+			res, _ := exp.Fig14(o.fabric, h, o.seed)
+			return []*exp.Result{res}
+		}},
+		{"fig15", "DCQCN vs DCQCN+TCD: victim FCT and burst-size sweep", func(o options) []*exp.Result {
+			h := o.horizon
+			if o.full {
+				h = 100 * units.Millisecond
+			}
+			r1, _, _ := exp.VictimFCT(exp.CEE, exp.CCDCQCN, exp.CCDCQCNTCD, h, o.seed)
+			sizes := []units.ByteSize{32 * units.KB, 64 * units.KB, 128 * units.KB, 250 * units.KB, 500 * units.KB}
+			r2, _ := exp.VictimBurstSweep(exp.CEE, exp.CCDCQCN, exp.CCDCQCNTCD, sizes, h, o.seed)
+			return []*exp.Result{r1, r2}
+		}},
+		{"fig16", "fat-tree FCT slowdown: DCQCN vs DCQCN+TCD", func(o options) []*exp.Result {
+			base := exp.DefaultFatTreeConfig(exp.CEE, exp.DetBaseline, exp.CCDCQCN, o.workload)
+			tuneFatTree(&base, o, 10, 40000)
+			res, _, _ := exp.FatTreeComparison(base, exp.CCDCQCN, exp.CCDCQCNTCD)
+			return []*exp.Result{res}
+		}},
+		{"fig17", "IB CC vs IB CC+TCD: victim MCT and MPI/IO fat-tree", func(o options) []*exp.Result {
+			h := o.horizon
+			if o.full {
+				h = 100 * units.Millisecond
+			}
+			r1, _, _ := exp.VictimFCT(exp.IB, exp.CCIBCC, exp.CCIBCCTCD, h, o.seed)
+			base := exp.DefaultFatTreeConfig(exp.IB, exp.DetBaseline, exp.CCIBCC, "mpiio")
+			tuneFatTree(&base, o, 16, 80000)
+			r2, _, _ := exp.FatTreeComparison(base, exp.CCIBCC, exp.CCIBCCTCD)
+			return []*exp.Result{r1, r2}
+		}},
+		{"fig18", "TIMELY vs TIMELY+TCD: victim FCT and burst-size sweep", func(o options) []*exp.Result {
+			h := o.horizon
+			if o.full {
+				h = 100 * units.Millisecond
+			}
+			r1, _, _ := exp.VictimFCT(exp.CEE, exp.CCTIMELY, exp.CCTIMELYTCD, h, o.seed)
+			sizes := []units.ByteSize{32 * units.KB, 64 * units.KB, 128 * units.KB, 250 * units.KB, 500 * units.KB}
+			r2, _ := exp.VictimBurstSweep(exp.CEE, exp.CCTIMELY, exp.CCTIMELYTCD, sizes, h, o.seed)
+			return []*exp.Result{r1, r2}
+		}},
+		{"fig19", "fat-tree FCT slowdown: TIMELY vs TIMELY+TCD", func(o options) []*exp.Result {
+			base := exp.DefaultFatTreeConfig(exp.CEE, exp.DetBaseline, exp.CCTIMELY, o.workload)
+			tuneFatTree(&base, o, 10, 40000)
+			res, _, _ := exp.FatTreeComparison(base, exp.CCTIMELY, exp.CCTIMELYTCD)
+			return []*exp.Result{res}
+		}},
+		{"multiprio", "§4.5: strict-priority preemption does not disturb TCD", func(o options) []*exp.Result {
+			cfg := exp.DefaultMultiPrioConfig()
+			cfg.Seed = o.seed
+			applyHorizon(&cfg.Horizon, o)
+			return []*exp.Result{exp.MultiPrio(cfg)}
+		}},
+		{"ablation", "design-choice ablations: detectors, notification rules, trend slack", func(o options) []*exp.Result {
+			h := o.horizon
+			if h == 0 {
+				h = 20 * units.Millisecond
+			}
+			return []*exp.Result{
+				exp.AblationDetectors(o.fabric, h, o.seed),
+				exp.AblationNotification(h, o.seed),
+				exp.AblationTrendSlack(h, o.seed),
+				exp.AblationSwitchArch(8*units.Millisecond, o.seed),
+			}
+		}},
+		{"fig20", "fairness of the TCD rate-adjustment rules", func(o options) []*exp.Result {
+			var out []*exp.Result
+			for _, cc := range []exp.CCKind{exp.CCDCQCNTCD, exp.CCTIMELYTCD} {
+				cfg := exp.DefaultFairnessConfig(o.fabric, cc)
+				cfg.Seed = o.seed
+				applyHorizon(&cfg.Horizon, o)
+				if o.full {
+					cfg.Horizon = 400 * units.Millisecond
+				}
+				out = append(out, exp.Fairness(cfg))
+			}
+			return out
+		}},
+	}
+}
+
+func applyHorizon(dst *units.Time, o options) {
+	if o.horizon > 0 {
+		*dst = o.horizon
+	}
+}
+
+func applyArch(cfg *exp.ObserveConfig, o options) {
+	if o.voq {
+		cfg.Arch = fabric.InputQueuedVoQ
+	}
+}
+
+func tuneFatTree(cfg *exp.FatTreeConfig, o options, fullK, fullFlows int) {
+	cfg.Seed = o.seed
+	cfg.K = 6
+	cfg.MaxFlows = 4000
+	cfg.Horizon = 40 * units.Millisecond
+	if o.full {
+		cfg.K = fullK
+		cfg.MaxFlows = fullFlows
+		cfg.Horizon = 100 * units.Millisecond
+	}
+	if o.k > 0 {
+		cfg.K = o.k
+	}
+	if o.flows > 0 {
+		cfg.MaxFlows = o.flows
+	}
+	applyHorizon(&cfg.Horizon, o)
+}
+
+func main() {
+	var (
+		list     = flag.Bool("list", false, "list experiments")
+		name     = flag.String("exp", "", "experiment to run (see -list)")
+		fabric   = flag.String("fabric", "cee", "fabric kind: cee or ib")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		horizon  = flag.Duration("horizon", 0, "simulation horizon override (e.g. 60ms)")
+		full     = flag.Bool("full", false, "paper-scale parameters (slow)")
+		k        = flag.Int("k", 0, "fat-tree arity override")
+		flows    = flag.Int("flows", 0, "flow-count override")
+		workload = flag.String("workload", "hadoop", "fat-tree workload: hadoop, websearch, mpiio")
+		series   = flag.String("series", "", "also dump this time series (name as shown in output)")
+		csvdir   = flag.String("csvdir", "", "write every collected series as CSV files into this directory")
+		arch     = flag.String("arch", "oq", "switch architecture for observation runs: oq or voq")
+		runs     = flag.Int("runs", 1, "repeat the experiment over this many seeds and summarize (table3 only)")
+	)
+	flag.Parse()
+
+	rs := runners()
+	if *list || *name == "" {
+		fmt.Println("experiments:")
+		for _, r := range rs {
+			fmt.Printf("  %-8s %s\n", r.name, r.desc)
+		}
+		if *name == "" && !*list {
+			os.Exit(2)
+		}
+		return
+	}
+
+	o := options{
+		seed:     *seed,
+		full:     *full,
+		k:        *k,
+		flows:    *flows,
+		workload: *workload,
+		series:   *series,
+		voq:      strings.EqualFold(*arch, "voq"),
+		runs:     *runs,
+	}
+	switch strings.ToLower(*fabric) {
+	case "cee":
+		o.fabric = exp.CEE
+	case "ib":
+		o.fabric = exp.IB
+	default:
+		fmt.Fprintf(os.Stderr, "unknown fabric %q\n", *fabric)
+		os.Exit(2)
+	}
+	if *horizon > 0 {
+		o.horizon = units.Time(horizon.Nanoseconds()) * units.Nanosecond
+	}
+
+	var chosen *runner
+	for i := range rs {
+		if rs[i].name == strings.ToLower(*name) {
+			chosen = &rs[i]
+			break
+		}
+	}
+	if chosen == nil {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; try -list\n", *name)
+		os.Exit(2)
+	}
+
+	start := time.Now()
+	results := chosen.run(o)
+	for _, res := range results {
+		fmt.Print(res.Render())
+		if *csvdir != "" {
+			if err := res.WriteSeries(*csvdir); err != nil {
+				fmt.Fprintf(os.Stderr, "csv export: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if o.series != "" {
+			if s, ok := res.Series[o.series]; ok {
+				fmt.Print(s.Render())
+			} else if len(res.Series) > 0 {
+				names := make([]string, 0, len(res.Series))
+				for n := range res.Series {
+					names = append(names, n)
+				}
+				sort.Strings(names)
+				fmt.Fprintf(os.Stderr, "series %q not found; available: %s\n", o.series, strings.Join(names, ", "))
+			}
+		}
+	}
+	fmt.Printf("(%s, wall %v)\n", chosen.name, time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,53 @@
+// Fairness runs the paper's Fig 20 study: four long-lived flows cross a
+// port that is first a victim of congestion spreading (undetermined: TCD
+// holds their rates) and later a genuine congestion point (congestion:
+// they converge toward the 8 Gbps fair share of the 40 Gbps port).
+//
+//	go run ./examples/fairness -cc timely [-horizon 60ms]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"github.com/tcdnet/tcd/internal/exp"
+	"github.com/tcdnet/tcd/internal/units"
+)
+
+func main() {
+	cc := flag.String("cc", "timely", "controller: dcqcn or timely (TCD variants)")
+	horizon := flag.Duration("horizon", 60*time.Millisecond, "simulated time")
+	flag.Parse()
+
+	kind := exp.CCTIMELYTCD
+	if *cc == "dcqcn" {
+		kind = exp.CCDCQCNTCD
+	}
+	cfg := exp.DefaultFairnessConfig(exp.CEE, kind)
+	cfg.Horizon = units.Time(horizon.Nanoseconds()) * units.Nanosecond
+
+	res := exp.Fairness(cfg)
+	fmt.Printf("fairness with %s over %v\n\n", kind, cfg.Horizon)
+	fmt.Printf("burst era ends at %.2f ms; steady-state goodput of B0..B3:\n",
+		res.Scalars["burst_end_ms"])
+	for i := 0; i < 4; i++ {
+		fmt.Printf("  B%d: %6.2f Gbps\n", i, res.Scalars[fmt.Sprintf("b%d_steady_gbps", i)])
+	}
+	fmt.Printf("\nJain fairness index: %.4f (1.0 = perfectly fair)\n", res.Scalars["jain_index"])
+	fmt.Printf("aggregate: %.1f Gbps on the 40 Gbps port (F1 takes the rest)\n",
+		res.Scalars["sum_steady_gbps"])
+	fmt.Printf("UE marks at the shared port during the spreading era: %.0f\n",
+		res.Scalars["p2_ue_marks"])
+
+	// A coarse convergence timeline from the collected series.
+	fmt.Println("\nB0 goodput timeline:")
+	s := res.Series["b0_gbps"]
+	step := len(s.T) / 12
+	if step == 0 {
+		step = 1
+	}
+	for i := 0; i < len(s.T); i += step {
+		fmt.Printf("  %8.2fms %6.2f Gbps\n", s.T[i].Millis(), s.V[i])
+	}
+}

@@ -1,0 +1,88 @@
+// Fattree runs the realistic-workload comparison (the paper's Fig 16
+// family) on a k-ary fat-tree: a heavy-tailed workload at 60% load under
+// stock DCQCN versus DCQCN combined with TCD, reporting FCT-slowdown
+// percentiles by flow size.
+//
+//	go run ./examples/fattree -k 6 -flows 4000 -workload hadoop
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/tcdnet/tcd/internal/exp"
+	"github.com/tcdnet/tcd/internal/rng"
+	"github.com/tcdnet/tcd/internal/topo"
+	"github.com/tcdnet/tcd/internal/units"
+	"github.com/tcdnet/tcd/internal/workload"
+)
+
+func main() {
+	k := flag.Int("k", 6, "fat-tree arity (k=10 is the paper's 250-host network)")
+	flows := flag.Int("flows", 4000, "number of flows to generate")
+	wl := flag.String("workload", "hadoop", "hadoop, websearch, or mpiio")
+	load := flag.Float64("load", 0.6, "average access-link load")
+	horizon := flag.Duration("horizon", 40*time.Millisecond, "simulated time")
+	seed := flag.Uint64("seed", 1, "random seed")
+	dumpTrace := flag.String("dumptrace", "", "write the generated workload as a CSV trace to this file and exit")
+	trace := flag.String("trace", "", "replay flows from this CSV trace instead of generating a workload")
+	flag.Parse()
+
+	if *dumpTrace != "" {
+		ft := topo.NewFatTree(*k, 40*units.Gbps, 4*units.Microsecond)
+		flows := workload.Poisson(rng.New(*seed+31), workload.PoissonConfig{
+			Hosts:      ft.HostList,
+			CDF:        workload.Hadoop(),
+			Load:       *load,
+			AccessRate: 40 * units.Gbps,
+			Horizon:    units.Time(horizon.Nanoseconds()) * units.Nanosecond / 2,
+			MaxFlows:   *flows,
+		})
+		f, err := os.Create(*dumpTrace)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := workload.WriteTrace(f, flows); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d flows to %s (replayable with workload.ReadTrace)\n", len(flows), *dumpTrace)
+		return
+	}
+
+	base := exp.DefaultFatTreeConfig(exp.CEE, exp.DetBaseline, exp.CCDCQCN, *wl)
+	base.K = *k
+	base.MaxFlows = *flows
+	base.Load = *load
+	base.Horizon = units.Time(horizon.Nanoseconds()) * units.Nanosecond
+	base.Seed = *seed
+	if *trace != "" {
+		f, err := os.Open(*trace)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		replay, err := workload.ReadTrace(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		base.Trace = replay
+		fmt.Printf("replaying %d flows from %s\n", len(replay), *trace)
+	}
+
+	fmt.Printf("fat-tree k=%d (%d hosts), %s workload at %.0f%% load, %d flows\n\n",
+		*k, (*k)*(*k)*(*k)/4, *wl, 100**load, *flows)
+
+	start := time.Now()
+	res, stock, tcd := exp.FatTreeComparison(base, exp.CCDCQCN, exp.CCDCQCNTCD)
+	fmt.Print(res.Render())
+	fmt.Printf("\nstock completed %d/%d, tcd completed %d/%d (wall %v)\n",
+		stock.Completed, stock.Generated, tcd.Completed, tcd.Generated,
+		time.Since(start).Round(time.Millisecond))
+}

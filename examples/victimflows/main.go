@@ -1,0 +1,40 @@
+// Victimflows reproduces the paper's Table 3 story interactively: in the
+// Figure-2 scenario with 20 Gbps edges, flows from S0 only ever cross
+// ports that are paused by congestion spreading — they are victims, not
+// culprits — yet ECN (CEE) and FECN (InfiniBand) mark a substantial
+// fraction of them as congested. TCD marks none.
+//
+//	go run ./examples/victimflows [-horizon 30ms]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"github.com/tcdnet/tcd/internal/exp"
+	"github.com/tcdnet/tcd/internal/units"
+)
+
+func main() {
+	horizon := flag.Duration("horizon", 30*time.Millisecond, "simulated time")
+	seed := flag.Uint64("seed", 1, "random seed")
+	flag.Parse()
+
+	h := units.Time(horizon.Nanoseconds()) * units.Nanosecond
+	fmt.Printf("victim-flow scenario, horizon %v\n\n", h)
+
+	res, rows := exp.Table3(h, *seed)
+	fmt.Println("Table 3 — victim flows mistakenly marked with CE:")
+	fmt.Printf("  %-12s %s\n", "Scheme", "Fraction")
+	for _, r := range rows {
+		fmt.Printf("  %-12s %6.1f%%\n", r.Scheme, 100*r.Fraction)
+	}
+	fmt.Println()
+	for _, n := range res.Notes {
+		fmt.Println(" ", n)
+	}
+	fmt.Println("\npaper's reference values: ECN 26.6%, TCD 0%, FECN 13.5%, TCD 0%")
+	fmt.Println("(magnitudes depend on the burst regime; the invariant is that")
+	fmt.Println(" both baselines mismark victims and TCD marks none)")
+}

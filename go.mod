@@ -1,0 +1,3 @@
+module github.com/tcdnet/tcd
+
+go 1.22

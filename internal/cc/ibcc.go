@@ -1,0 +1,100 @@
+package cc
+
+import (
+	"github.com/tcdnet/tcd/internal/sim"
+	"github.com/tcdnet/tcd/internal/units"
+)
+
+// IBCCConfig holds the InfiniBand congestion-control (CA-side injection
+// throttling) parameters. A BECN-echoed notification raises the CCT index
+// (CCTI); a timer lowers it; the CCT maps the index to an injection rate.
+//
+// The spec's CCT contains inter-packet delay values; this implementation
+// uses the equivalent rate mapping rate = LineRate / (1 + CCTI/8) — a
+// monotone table with the same qualitative throttling (see DESIGN.md).
+type IBCCConfig struct {
+	// LineRate is the link injection rate at CCTI = 0.
+	LineRate units.Rate
+	// Step is the CCTI increase per BECN (1 in the spec's example; the
+	// paper's TCD case study §5.2.2 raises it to 2).
+	Step int
+	// CCTIMax caps the index (127).
+	CCTIMax int
+	// Timer is the CCTI recovery period: CCTI decreases by one per
+	// expiry.
+	Timer units.Time
+	// TCD enables ternary handling: UE echoes leave CCTI unchanged.
+	TCD bool
+}
+
+// DefaultIBCCConfig returns stock IB CC.
+func DefaultIBCCConfig(line units.Rate) IBCCConfig {
+	return IBCCConfig{
+		LineRate: line,
+		Step:     1,
+		CCTIMax:  127,
+		Timer:    150 * units.Microsecond,
+	}
+}
+
+// TCDIBCCConfig returns the paper's IB CC + TCD variant: reduction step 2
+// and UE echoes held.
+func TCDIBCCConfig(line units.Rate) IBCCConfig {
+	cfg := DefaultIBCCConfig(line)
+	cfg.Step = 2
+	cfg.TCD = true
+	return cfg
+}
+
+// IBCC is one flow's channel-adapter throttle.
+type IBCC struct {
+	cfg   IBCCConfig
+	ccti  int
+	timer *sim.Timer
+
+	// Increases and Holds count BECN reactions and TCD holds.
+	Increases, Holds uint64
+}
+
+// NewIBCC builds a throttle at full injection rate.
+func NewIBCC(s *sim.Scheduler, cfg IBCCConfig) *IBCC {
+	c := &IBCC{cfg: cfg}
+	c.timer = sim.NewTimer(s, c.recover)
+	return c
+}
+
+// CCTI reports the current table index (for tests).
+func (c *IBCC) CCTI() int { return c.ccti }
+
+// CurrentRate implements host.RateController.
+func (c *IBCC) CurrentRate() units.Rate {
+	return units.Rate(float64(c.cfg.LineRate) / (1 + float64(c.ccti)/8))
+}
+
+// OnNotify implements host.RateController: a BECN echo.
+func (c *IBCC) OnNotify(now units.Time, ce, ue bool) {
+	if ce {
+		c.Increases++
+		c.ccti += c.cfg.Step
+		if c.ccti > c.cfg.CCTIMax {
+			c.ccti = c.cfg.CCTIMax
+		}
+		c.timer.Arm(c.cfg.Timer)
+		return
+	}
+	if ue && c.cfg.TCD {
+		c.Holds++
+	}
+}
+
+// OnAck implements host.RateController (IB CC does not use RTT).
+func (c *IBCC) OnAck(units.Time, units.Time, bool, bool) {}
+
+func (c *IBCC) recover() {
+	if c.ccti > 0 {
+		c.ccti--
+	}
+	if c.ccti > 0 {
+		c.timer.Arm(c.cfg.Timer)
+	}
+}

@@ -1,0 +1,154 @@
+package cc
+
+import (
+	"github.com/tcdnet/tcd/internal/units"
+)
+
+// TIMELYConfig holds the TIMELY parameters (Mittal et al., and the
+// published reference code snippet the paper's simulator is based on).
+type TIMELYConfig struct {
+	// LineRate caps the sending rate; flows start at line rate.
+	LineRate units.Rate
+	// MinRate floors the sending rate.
+	MinRate units.Rate
+	// Delta is the additive increase step (10 Mbps).
+	Delta units.Rate
+	// TLow and THigh bracket the gradient-controlled region: below TLow
+	// always increase, above THigh always decrease multiplicatively.
+	TLow, THigh units.Time
+	// MinRTT normalizes the RTT gradient.
+	MinRTT units.Time
+	// EwmaAlpha filters the RTT difference (0.875-weight history in the
+	// snippet: alpha = 0.125... the snippet uses ewma_alpha for the diff).
+	EwmaAlpha float64
+	// Beta scales multiplicative decrease (0.8). The paper's TCD case
+	// study (§5.2.3) raises it to 1.6 for congested flows.
+	Beta float64
+	// HAICount is the consecutive-negative-gradient count after which the
+	// additive step is multiplied by N=5 (hyperactive increase).
+	HAICount int
+	// UpdateEvery rate-limits the engine: TIMELY computes a new rate per
+	// completion event of a 16-64 KB segment, not per MTU-sized packet.
+	// Samples arriving within the window are ignored.
+	UpdateEvery units.Time
+	// TCD enables ternary handling: in the gradient region a positive
+	// gradient with a UE-echoed ACK holds the rate (the RTT rise is
+	// attributed to PAUSE, not congestion).
+	TCD bool
+}
+
+// DefaultTIMELYConfig returns stock TIMELY for datacenter RTTs.
+func DefaultTIMELYConfig(line units.Rate) TIMELYConfig {
+	return TIMELYConfig{
+		LineRate:    line,
+		MinRate:     10 * units.Mbps,
+		Delta:       10 * units.Mbps,
+		TLow:        50 * units.Microsecond,
+		THigh:       500 * units.Microsecond,
+		MinRTT:      20 * units.Microsecond,
+		EwmaAlpha:   0.125,
+		Beta:        0.8,
+		HAICount:    5,
+		UpdateEvery: 20 * units.Microsecond,
+	}
+}
+
+// TCDTIMELYConfig returns the paper's TIMELY+TCD variant: beta 1.6 and
+// UE-echoed gradient rises held.
+func TCDTIMELYConfig(line units.Rate) TIMELYConfig {
+	cfg := DefaultTIMELYConfig(line)
+	cfg.Beta = 1.6
+	cfg.TCD = true
+	return cfg
+}
+
+// TIMELY is one flow's RTT-gradient engine.
+type TIMELY struct {
+	cfg TIMELYConfig
+
+	rate       units.Rate
+	prevRTT    units.Time
+	rttDiff    float64 // EWMA of RTT differences, in picoseconds
+	negCount   int
+	lastUpdate units.Time
+
+	// Decreases and Holds count multiplicative decreases and TCD holds.
+	Decreases, Holds uint64
+}
+
+// NewTIMELY builds an engine starting at line rate.
+func NewTIMELY(cfg TIMELYConfig) *TIMELY {
+	return &TIMELY{cfg: cfg, rate: cfg.LineRate}
+}
+
+// CurrentRate implements host.RateController.
+func (t *TIMELY) CurrentRate() units.Rate { return t.rate }
+
+// OnNotify implements host.RateController (TIMELY is delay-based; it
+// ignores CNPs).
+func (t *TIMELY) OnNotify(units.Time, bool, bool) {}
+
+// OnAck implements host.RateController: one RTT sample per ACK, following
+// the published TIMELY algorithm with the paper's TCD amendment.
+func (t *TIMELY) OnAck(now units.Time, rtt units.Time, ce, ue bool) {
+	if t.lastUpdate != 0 && now-t.lastUpdate < t.cfg.UpdateEvery {
+		return // within the current segment: one decision per completion
+	}
+	t.lastUpdate = now
+	if t.prevRTT == 0 {
+		t.prevRTT = rtt
+		return
+	}
+	newDiff := float64(rtt - t.prevRTT)
+	t.prevRTT = rtt
+	t.rttDiff = (1-t.cfg.EwmaAlpha)*t.rttDiff + t.cfg.EwmaAlpha*newDiff
+	gradient := t.rttDiff / float64(t.cfg.MinRTT)
+
+	switch {
+	case rtt < t.cfg.TLow:
+		t.additive(1)
+	case rtt > t.cfg.THigh:
+		// Multiplicative decrease toward THigh.
+		t.negCount = 0
+		f := 1 - t.cfg.Beta*(1-float64(t.cfg.THigh)/float64(rtt))
+		t.multiplicative(f)
+	case gradient <= 0:
+		n := 1
+		t.negCount++
+		if t.negCount >= t.cfg.HAICount {
+			n = 5
+		}
+		t.additive(n)
+	default:
+		t.negCount = 0
+		if t.cfg.TCD && ue && !ce {
+			// §5.2.3: the gradient rise came from a port in the
+			// undetermined state — hold instead of backing off.
+			t.Holds++
+			return
+		}
+		f := 1 - t.cfg.Beta*gradient
+		t.multiplicative(f)
+	}
+}
+
+func (t *TIMELY) additive(n int) {
+	t.rate += units.Rate(n) * t.cfg.Delta
+	if t.rate > t.cfg.LineRate {
+		t.rate = t.cfg.LineRate
+	}
+}
+
+func (t *TIMELY) multiplicative(f float64) {
+	if f >= 1 {
+		return // gradient too small to decrease
+	}
+	if f < 0.05 {
+		f = 0.05
+	}
+	t.Decreases++
+	t.rate = units.Rate(float64(t.rate) * f)
+	if t.rate < t.cfg.MinRate {
+		t.rate = t.cfg.MinRate
+	}
+}

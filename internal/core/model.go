@@ -1,0 +1,109 @@
+// Package core implements the paper's contribution: the ternary port
+// states, the conceptual ON-OFF model that bounds the ON period of a
+// flow-controlled port (Eqns 1-4), and the Ternary Congestion Detection
+// state machine (Fig 9). The baseline detectors that TCD is evaluated
+// against — DCQCN's RED/ECN dequeue marking and InfiniBand's FECN
+// root/victim marking — live here too (ecn.go, fecn.go).
+package core
+
+import (
+	"github.com/tcdnet/tcd/internal/units"
+)
+
+// ModelParams are the conceptual ON-OFF model inputs (Table 2).
+type ModelParams struct {
+	// C is the link capacity.
+	C units.Rate
+	// B1MinusB0 is the ingress-queue gap between the OFF and ON triggers
+	// (Xoff − Xon in PFC; 2 MTU recommended).
+	B1MinusB0 units.ByteSize
+	// Tau is the response time for ON/OFF messages to take effect.
+	Tau units.Time
+}
+
+// PFCResponseTime returns the paper's §4.3 response-time bound
+// tau = 2*MTU/C + 2*t_p: the feedback message waits behind one MTU at
+// each end and crosses the wire twice.
+func PFCResponseTime(mtu units.ByteSize, c units.Rate, tp units.Time) units.Time {
+	return 2*units.TxTime(mtu, c) + 2*tp
+}
+
+// Ton evaluates Eqn (1)/(2): the ON-period duration of a port regulated
+// by a queue-threshold flow control, given the draining rate Rd of the
+// congested flow and the congestion degree eps = (Ri-Rd)/C.
+//
+//	Ton = (B1-B0 + tau*Rd) / (eps*C) + tau
+func Ton(p ModelParams, rd units.Rate, eps float64) units.Time {
+	if eps <= 0 {
+		return units.Forever
+	}
+	num := float64(p.B1MinusB0.Bits()) + p.Tau.Seconds()*float64(rd)
+	sec := num/(eps*float64(p.C)) + p.Tau.Seconds()
+	return units.FromSeconds(sec)
+}
+
+// MaxTonCEE evaluates Eqn (3): the upper bound of Ton over all congestion
+// scenarios, obtained at Rd = C/2 (two flows contending is the scenario
+// that maximizes a congested flow's allocation):
+//
+//	max(Ton) = (2*(B1-B0) + tau*C) / (2*eps*C) + tau
+func MaxTonCEE(p ModelParams, eps float64) units.Time {
+	if eps <= 0 {
+		return units.Forever
+	}
+	num := 2*float64(p.B1MinusB0.Bits()) + p.Tau.Seconds()*float64(p.C)
+	sec := num/(2*eps*float64(p.C)) + p.Tau.Seconds()
+	return units.FromSeconds(sec)
+}
+
+// TonIB evaluates Eqn (4): under CBFC the ON period is a fraction of the
+// credit-update period Tc,
+//
+//	Ton = Rd*Tc / (Rd + eps*C)
+//
+// which is strictly below Tc for any eps > 0.
+func TonIB(rd units.Rate, tc units.Time, eps float64, c units.Rate) units.Time {
+	den := float64(rd) + eps*float64(c)
+	if den <= 0 {
+		return units.Forever
+	}
+	return units.FromSeconds(float64(rd) * tc.Seconds() / den)
+}
+
+// MaxTonIB is the InfiniBand bound: the credit update period itself.
+func MaxTonIB(tc units.Time) units.Time { return tc }
+
+// RecommendedEps is the paper's recommended congestion degree (§4.2):
+// 0.05 covers most values of Ton without deferring detection unduly.
+const RecommendedEps = 0.05
+
+// CEEParams builds ModelParams from the PFC deployment constants the
+// paper uses: B1−B0 = 2 MTU, tau = 2*MTU/C + 2*t_p.
+func CEEParams(mtu units.ByteSize, c units.Rate, tp units.Time) ModelParams {
+	return ModelParams{
+		C:         c,
+		B1MinusB0: 2 * mtu,
+		Tau:       PFCResponseTime(mtu, c, tp),
+	}
+}
+
+// SurfacePoint is one (eps, Rd) sample of the Fig 8 surface.
+type SurfacePoint struct {
+	Eps float64
+	Rd  units.Rate
+	Ton units.Time
+}
+
+// TonSurface samples Eqn (2) over a grid of congestion degrees and
+// draining rates, reproducing Fig 8 (tau = 8us, C = 40 Gbps in the
+// paper's rendering). The returned points are row-major: for each eps,
+// all Rd values.
+func TonSurface(p ModelParams, epsGrid []float64, rdGrid []units.Rate) []SurfacePoint {
+	out := make([]SurfacePoint, 0, len(epsGrid)*len(rdGrid))
+	for _, e := range epsGrid {
+		for _, rd := range rdGrid {
+			out = append(out, SurfacePoint{Eps: e, Rd: rd, Ton: Ton(p, rd, e)})
+		}
+	}
+	return out
+}

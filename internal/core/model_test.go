@@ -1,0 +1,140 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/tcdnet/tcd/internal/units"
+)
+
+// §4.3: "When eps = 0.05, MTU = 1000B and tp = 1us, the typical values of
+// max(Ton) for 40/100/200 Gbps networks is 34.4us / 26.96us / 24.48us."
+// These are exact targets for Eqn (3).
+func TestMaxTonCEEPaperValues(t *testing.T) {
+	cases := []struct {
+		c    units.Rate
+		want float64 // microseconds
+	}{
+		{40 * units.Gbps, 34.4},
+		{100 * units.Gbps, 26.96},
+		{200 * units.Gbps, 24.48},
+	}
+	for _, cse := range cases {
+		p := CEEParams(1000, cse.c, units.Microsecond)
+		got := MaxTonCEE(p, 0.05).Micros()
+		if math.Abs(got-cse.want) > 0.01 {
+			t.Errorf("MaxTonCEE at %v = %.4gus, want %.4gus", cse.c, got, cse.want)
+		}
+	}
+}
+
+func TestPFCResponseTime(t *testing.T) {
+	// 2*MTU/C + 2*tp at 40G, 1000B, 1us = 0.4us + 2us = 2.4us.
+	got := PFCResponseTime(1000, 40*units.Gbps, units.Microsecond)
+	if got != 2400*units.Nanosecond {
+		t.Errorf("tau = %v, want 2.4us", got)
+	}
+}
+
+func TestTonEqn2AgainstHand(t *testing.T) {
+	// B1-B0 = 2KB, tau = 2.4us, C = 40G, Rd = 20G, eps = 0.05:
+	// Ton = (16000 bits + 2.4e-6*20e9) / (0.05*40e9) + 2.4us
+	//     = (16000+48000)/2e9 + 2.4us = 32us + 2.4us = 34.4us.
+	p := ModelParams{C: 40 * units.Gbps, B1MinusB0: 2 * units.KB, Tau: 2400 * units.Nanosecond}
+	got := Ton(p, 20*units.Gbps, 0.05)
+	if math.Abs(got.Micros()-34.4) > 0.01 {
+		t.Errorf("Ton = %v, want 34.4us", got)
+	}
+}
+
+func TestTonUnboundedAsEpsVanishes(t *testing.T) {
+	p := CEEParams(1000, 40*units.Gbps, units.Microsecond)
+	if Ton(p, 20*units.Gbps, 0) != units.Forever {
+		t.Error("Ton at eps=0 should be unbounded")
+	}
+	if MaxTonCEE(p, 0) != units.Forever {
+		t.Error("MaxTonCEE at eps=0 should be unbounded")
+	}
+	if MaxTonCEE(p, -0.1) != units.Forever {
+		t.Error("MaxTonCEE at negative eps should be unbounded")
+	}
+}
+
+// Property: max(Ton) from Eqn (3) dominates Ton from Eqn (2) for every
+// Rd <= C/2 — the derivation's whole point.
+func TestMaxTonDominatesProperty(t *testing.T) {
+	p := CEEParams(1000, 40*units.Gbps, units.Microsecond)
+	f := func(rdSel, epsSel uint8) bool {
+		rd := units.Rate(1+int64(rdSel)%20) * units.Gbps // 1..20G = up to C/2
+		eps := 0.01 + float64(epsSel%50)/100             // 0.01..0.50
+		return Ton(p, rd, eps) <= MaxTonCEE(p, eps)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Ton decreases as congestion degree grows, increases with Rd.
+func TestTonMonotonicity(t *testing.T) {
+	p := CEEParams(1000, 40*units.Gbps, units.Microsecond)
+	if Ton(p, 10*units.Gbps, 0.1) >= Ton(p, 10*units.Gbps, 0.05) {
+		t.Error("Ton not decreasing in eps")
+	}
+	if Ton(p, 5*units.Gbps, 0.05) >= Ton(p, 20*units.Gbps, 0.05) {
+		t.Error("Ton not increasing in Rd")
+	}
+}
+
+// Eqn (4): Ton under CBFC is strictly below Tc for any eps > 0, and
+// approaches Tc as eps -> 0.
+func TestTonIB(t *testing.T) {
+	tc := 40 * units.Microsecond
+	c := 40 * units.Gbps
+	for _, eps := range []float64{0.01, 0.05, 0.2, 1} {
+		got := TonIB(20*units.Gbps, tc, eps, c)
+		if got >= tc {
+			t.Errorf("TonIB(eps=%v) = %v, not below Tc %v", eps, got, tc)
+		}
+	}
+	near := TonIB(20*units.Gbps, tc, 1e-9, c)
+	if near < tc-units.Nanosecond {
+		t.Errorf("TonIB at vanishing eps = %v, want ~Tc", near)
+	}
+	if MaxTonIB(tc) != tc {
+		t.Error("MaxTonIB should be Tc")
+	}
+	if TonIB(0, tc, 0, c) != units.Forever {
+		t.Error("TonIB degenerate case should be Forever")
+	}
+	// Hand value: Rd=20G, eps=0.05, C=40G: Ton = 20/(20+2) * Tc = 36.36us.
+	got := TonIB(20*units.Gbps, tc, 0.05, c)
+	if math.Abs(got.Micros()-36.3636) > 0.01 {
+		t.Errorf("TonIB = %v, want 36.36us", got)
+	}
+}
+
+func TestTonSurfaceShape(t *testing.T) {
+	// Fig 8 parameters: tau = 8us, C = 40 Gbps.
+	p := ModelParams{C: 40 * units.Gbps, B1MinusB0: 2 * units.KB, Tau: 8 * units.Microsecond}
+	eps := []float64{0.01, 0.05, 0.1, 0.2}
+	rd := []units.Rate{5 * units.Gbps, 10 * units.Gbps, 20 * units.Gbps}
+	pts := TonSurface(p, eps, rd)
+	if len(pts) != 12 {
+		t.Fatalf("surface points = %d, want 12", len(pts))
+	}
+	// Row-major: first row is eps=0.01. Ton grows rapidly as eps shrinks.
+	if pts[0].Ton <= pts[9].Ton {
+		t.Error("Ton surface not increasing toward small eps")
+	}
+	// Within a row, Ton grows with Rd.
+	if !(pts[0].Ton < pts[1].Ton && pts[1].Ton < pts[2].Ton) {
+		t.Error("Ton surface not increasing in Rd within a row")
+	}
+}
+
+func TestRecommendedEps(t *testing.T) {
+	if RecommendedEps != 0.05 {
+		t.Errorf("recommended eps = %v, paper says 0.05", RecommendedEps)
+	}
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/tcdnet/tcd/internal/packet"
+	"github.com/tcdnet/tcd/internal/rng"
+	"github.com/tcdnet/tcd/internal/units"
+)
+
+// driveRandom feeds a detector a random but causally valid event
+// sequence (time strictly advances; OFF periods properly nested) and
+// checks marking invariants at every step:
+//
+//  1. UE is only applied while the port is within MaxTon of an OFF end
+//     (the ON-OFF regime).
+//  2. CE is only applied when LAST_STATE is congestion at the mark.
+//  3. During the post-undetermined drain (released, still undetermined,
+//     queue above low threshold and not grown past the trend), nothing
+//     is marked.
+func driveRandom(seed uint64, steps int) error {
+	r := rng.New(seed)
+	cfg := TCDConfig{
+		MaxTon:     30 * units.Microsecond,
+		CongThresh: 100 * units.KB,
+		LowThresh:  10 * units.KB,
+	}
+	d := NewTCD(cfg)
+	now := units.Time(0)
+	off := false
+	lastOffEnd := units.Never
+	var q units.ByteSize
+
+	for i := 0; i < steps; i++ {
+		now += units.Time(1 + r.Int63n(int64(20*units.Microsecond)))
+		switch r.Intn(4) {
+		case 0: // toggle OFF state
+			if off {
+				d.OnOffEnd(now)
+				lastOffEnd = now
+				off = false
+			} else {
+				d.OnOffStart(now)
+				off = true
+			}
+		default: // dequeue with a random queue length
+			if off {
+				continue // a blocked port does not dequeue
+			}
+			q = units.ByteSize(r.Int63n(int64(400 * units.KB)))
+			p := &packet.Packet{Kind: packet.Data, Code: packet.Capable}
+			stateBefore := d.State()
+			d.OnDequeue(now, p, q)
+			ton := units.Forever
+			if lastOffEnd != units.Never {
+				ton = now - lastOffEnd
+			}
+			switch p.Code {
+			case packet.UE:
+				if ton >= cfg.MaxTon {
+					return errAt("UE outside the ON-OFF regime", now)
+				}
+			case packet.CE:
+				if d.State() != Congestion {
+					return errAt("CE while not in congestion state", now)
+				}
+				if stateBefore == Undetermined && ton < cfg.MaxTon {
+					return errAt("CE inside the ON-OFF regime", now)
+				}
+			}
+			// State/mark coherence.
+			if d.State() == Undetermined && p.Code == packet.CE {
+				return errAt("undetermined state emitted CE", now)
+			}
+		}
+	}
+	return nil
+}
+
+type seqErr struct {
+	msg string
+	at  units.Time
+}
+
+func (e *seqErr) Error() string { return e.msg + " at " + e.at.String() }
+
+func errAt(msg string, at units.Time) error { return &seqErr{msg, at} }
+
+func TestTCDMarkingInvariantsProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		if err := driveRandom(seed, 400); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: TimeIn never decreases and the state is always one of the
+// three ternary values.
+func TestTCDTimeAccountingProperty(t *testing.T) {
+	r := rng.New(99)
+	d := NewTCD(TCDConfig{MaxTon: 30 * units.Microsecond, CongThresh: 100 * units.KB, LowThresh: 10 * units.KB})
+	now := units.Time(0)
+	var prev [3]units.Time
+	off := false
+	for i := 0; i < 2000; i++ {
+		now += units.Time(1 + r.Int63n(int64(10*units.Microsecond)))
+		if r.Bool(0.3) {
+			if off {
+				d.OnOffEnd(now)
+			} else {
+				d.OnOffStart(now)
+			}
+			off = !off
+		} else if !off {
+			p := &packet.Packet{Kind: packet.Data, Code: packet.Capable}
+			d.OnDequeue(now, p, units.ByteSize(r.Int63n(int64(300*units.KB))))
+		}
+		for s := NonCongestion; s <= Undetermined; s++ {
+			if d.TimeIn(s) < prev[s] {
+				t.Fatalf("TimeIn(%v) decreased", s)
+			}
+			prev[s] = d.TimeIn(s)
+		}
+		if d.State() > Undetermined {
+			t.Fatalf("invalid state %d", d.State())
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package exp
+
+import (
+	"fmt"
+
+	"github.com/tcdnet/tcd/internal/core"
+	"github.com/tcdnet/tcd/internal/units"
+)
+
+// Fig8 evaluates the conceptual ON-OFF model surface: Ton as a function
+// of the congestion degree ε and the draining rate Rd, at the paper's
+// rendering parameters (τ = 8 us, C = 40 Gbps), plus the flat reference
+// plane at ε = 0.05.
+func Fig8() *Result {
+	res := NewResult("fig8-ton-surface")
+	p := core.ModelParams{
+		C:         40 * units.Gbps,
+		B1MinusB0: 2 * units.KB,
+		Tau:       8 * units.Microsecond,
+	}
+	epsGrid := []float64{0.01, 0.02, 0.05, 0.1, 0.15, 0.2, 0.3, 0.4, 0.5}
+	var rdGrid []units.Rate
+	for rd := units.Rate(2 * units.Gbps); rd <= 20*units.Gbps; rd += 2 * units.Gbps {
+		rdGrid = append(rdGrid, rd)
+	}
+	pts := core.TonSurface(p, epsGrid, rdGrid)
+	for _, pt := range pts {
+		res.Scalars[fmt.Sprintf("Ton(eps=%.2f,Rd=%v)us", pt.Eps, pt.Rd)] = pt.Ton.Micros()
+	}
+	// The flat reference plane of the figure: max(Ton) at eps = 0.05.
+	plane := core.MaxTonCEE(p, core.RecommendedEps)
+	res.Scalars["plane_eps0.05_us"] = plane.Micros()
+	// Shape facts the figure demonstrates.
+	res.AddNote("Ton rises slowly then rapidly as eps decreases (hyperbolic in eps)")
+	res.AddNote("the eps=0.05 plane covers all Ton values with eps >= 0.05 and Rd <= C/2")
+	covered := 0
+	for _, pt := range pts {
+		if pt.Eps >= core.RecommendedEps && pt.Ton <= plane {
+			covered++
+		}
+	}
+	res.Scalars["covered_points"] = float64(covered)
+	return res
+}
+
+// Section43Table reproduces the §4.3 parameter table: max(Ton) for
+// 40/100/200 Gbps at ε = 0.05, MTU = 1000 B, t_p = 1 us.
+func Section43Table() *Result {
+	res := NewResult("sec4.3-maxton-table")
+	for _, c := range []units.Rate{40 * units.Gbps, 100 * units.Gbps, 200 * units.Gbps} {
+		p := core.CEEParams(1000, c, units.Microsecond)
+		res.Scalars[fmt.Sprintf("maxTon@%v_us", c)] = core.MaxTonCEE(p, core.RecommendedEps).Micros()
+	}
+	return res
+}

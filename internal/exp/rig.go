@@ -1,0 +1,434 @@
+package exp
+
+import (
+	"fmt"
+
+	"github.com/tcdnet/tcd/internal/cbfc"
+	"github.com/tcdnet/tcd/internal/cc"
+	"github.com/tcdnet/tcd/internal/core"
+	"github.com/tcdnet/tcd/internal/fabric"
+	"github.com/tcdnet/tcd/internal/host"
+	"github.com/tcdnet/tcd/internal/pfc"
+	"github.com/tcdnet/tcd/internal/rng"
+	"github.com/tcdnet/tcd/internal/routing"
+	"github.com/tcdnet/tcd/internal/sim"
+	"github.com/tcdnet/tcd/internal/topo"
+	"github.com/tcdnet/tcd/internal/units"
+)
+
+// FabricKind selects the lossless technology under test.
+type FabricKind int
+
+const (
+	// CEE is Converged Enhanced Ethernet: PFC + ECN/TCD + DCQCN/TIMELY.
+	CEE FabricKind = iota
+	// IB is InfiniBand: CBFC + FECN/TCD + IB CC.
+	IB
+)
+
+func (f FabricKind) String() string {
+	if f == CEE {
+		return "cee"
+	}
+	return "ib"
+}
+
+// DetectorKind selects the congestion-detection mechanism on switches.
+type DetectorKind int
+
+const (
+	// DetNone installs no detector.
+	DetNone DetectorKind = iota
+	// DetBaseline is ECN/RED on CEE and FECN on IB.
+	DetBaseline
+	// DetTCD is the paper's ternary detector.
+	DetTCD
+	// DetTCDAdaptive is the §6 design alternative: max(Ton) predicted
+	// from the history of observed ON periods instead of the model.
+	DetTCDAdaptive
+	// DetNPECN is PCN's Non-PAUSE ECN (related work §7): RED marking
+	// suppressed on pause-tainted packets.
+	DetNPECN
+)
+
+func (d DetectorKind) String() string {
+	switch d {
+	case DetBaseline:
+		return "baseline"
+	case DetTCD:
+		return "tcd"
+	case DetTCDAdaptive:
+		return "tcd-adaptive"
+	case DetNPECN:
+		return "np-ecn"
+	}
+	return "none"
+}
+
+// CCKind selects the end-to-end congestion control for workload flows.
+type CCKind int
+
+const (
+	// CCFixed paces at a fixed rate and ignores feedback.
+	CCFixed CCKind = iota
+	// CCDCQCN and CCDCQCNTCD are stock and ternary DCQCN.
+	CCDCQCN
+	CCDCQCNTCD
+	// CCTIMELY and CCTIMELYTCD are stock and ternary TIMELY.
+	CCTIMELY
+	CCTIMELYTCD
+	// CCIBCC and CCIBCCTCD are stock and ternary IB CC.
+	CCIBCC
+	CCIBCCTCD
+)
+
+func (c CCKind) String() string {
+	switch c {
+	case CCDCQCN:
+		return "dcqcn"
+	case CCDCQCNTCD:
+		return "dcqcn+tcd"
+	case CCTIMELY:
+		return "timely"
+	case CCTIMELYTCD:
+		return "timely+tcd"
+	case CCIBCC:
+		return "ibcc"
+	case CCIBCCTCD:
+		return "ibcc+tcd"
+	}
+	return "fixed"
+}
+
+// NeedsAcks reports whether the controller requires per-packet ACKs.
+func (c CCKind) NeedsAcks() bool { return c == CCTIMELY || c == CCTIMELYTCD }
+
+// DetectorParams carries the marking/detection thresholds of one rig.
+type DetectorParams struct {
+	// Eps is the TCD congestion-degree parameter (§4.2; default 0.05).
+	Eps float64
+	// MTU sizes the response-time term of max(Ton).
+	MTU units.ByteSize
+	// CongThresh/LowThresh are the TCD state thresholds. Zero defaults
+	// to 200 KB / 10 KB on CEE and 50 KB / 10 KB on IB.
+	CongThresh, LowThresh units.ByteSize
+	// RED is the CEE baseline marker config (zero = DCQCN defaults).
+	RED core.REDConfig
+	// FECNThresh is the IB baseline threshold (zero = 50 KB).
+	FECNThresh units.ByteSize
+	// XoffGap overrides the B1-B0 term of the CEE max(Ton) model (zero =
+	// 2 MTU); the DPDK testbed ran Xoff-Xon = 30 KB.
+	XoffGap units.ByteSize
+	// Tau overrides the response-time term (zero = 2*MTU/C + 2*t_p);
+	// the DPDK testbed measured ~20 us of software delay.
+	Tau units.Time
+	// TrendSlack overrides the TCD queue-growth tolerance (zero keeps
+	// the detector default of 4 KB; the ablation sets 1 B to show why
+	// the tolerance exists).
+	TrendSlack units.ByteSize
+}
+
+func (p *DetectorParams) fill(kind FabricKind) {
+	if p.Eps == 0 {
+		p.Eps = core.RecommendedEps
+	}
+	if p.MTU == 0 {
+		p.MTU = 1000
+	}
+	if p.CongThresh == 0 {
+		if kind == CEE {
+			p.CongThresh = 200 * units.KB
+		} else {
+			p.CongThresh = 50 * units.KB
+		}
+	}
+	if p.LowThresh == 0 {
+		p.LowThresh = 10 * units.KB
+	}
+	if p.RED == (core.REDConfig{}) {
+		p.RED = core.DefaultREDConfig()
+	}
+	if p.FECNThresh == 0 {
+		p.FECNThresh = 50 * units.KB
+	}
+}
+
+// Rig is a ready-to-run simulated network: topology, fabric, flow
+// control, detectors and endpoints.
+type Rig struct {
+	Sched *sim.Scheduler
+	Net   *fabric.Network
+	Mgr   *host.Manager
+	Topo  *topo.Topology
+	Rnd   *rng.Source
+
+	Kind FabricKind
+	Det  DetectorKind
+	Par  DetectorParams
+	// Routes is the shortest-path table (hop counts, FCT baselines).
+	Routes *routing.Table
+	// CBFCCfg holds the installed CBFC parameters (IB rigs).
+	CBFCCfg cbfc.Config
+	// PFCCfg holds the installed PFC parameters (CEE rigs).
+	PFCCfg pfc.Config
+}
+
+// RigConfig assembles a rig over an arbitrary topology.
+type RigConfig struct {
+	Topo     *topo.Topology
+	Kind     FabricKind
+	Det      DetectorKind
+	Par      DetectorParams
+	Seed     uint64
+	HostCfg  host.Config
+	Selector routing.Selector
+	// Arch selects the switch architecture (output-queued by default;
+	// InputQueuedVoQ reproduces the paper's IB switch organization).
+	Arch fabric.Arch
+	// PFC / CBFC override the flow-control defaults when non-zero.
+	PFC  pfc.Config
+	CBFC cbfc.Config
+	// CtrlJitter adds per-control-frame delay jitter (testbed runs).
+	CtrlJitter func() units.Time
+	// RecordTransitions turns on TCD transition logging (small rigs).
+	RecordTransitions bool
+}
+
+// NewRig wires everything together.
+func NewRig(cfg RigConfig) *Rig {
+	if cfg.Selector == nil {
+		cfg.Selector = routing.FirstPath()
+	}
+	r := &Rig{
+		Sched: sim.New(),
+		Topo:  cfg.Topo,
+		Rnd:   rng.New(cfg.Seed + 1),
+		Kind:  cfg.Kind,
+		Det:   cfg.Det,
+		Par:   cfg.Par,
+	}
+	r.Par.fill(cfg.Kind)
+	fc := fabric.DefaultConfig()
+	fc.CtrlJitter = cfg.CtrlJitter
+	fc.Arch = cfg.Arch
+	r.Net = fabric.New(r.Sched, cfg.Topo, fc)
+	r.Routes = routing.BuildShortestPath(cfg.Topo)
+	r.Routes.Attach(r.Net, cfg.Selector)
+
+	switch cfg.Kind {
+	case CEE:
+		r.PFCCfg = cfg.PFC
+		if r.PFCCfg == (pfc.Config{}) {
+			r.PFCCfg = pfc.DefaultConfig()
+		}
+		pfc.Install(r.Net, r.PFCCfg)
+	case IB:
+		r.CBFCCfg = cfg.CBFC
+		if r.CBFCCfg.Buffer == 0 && r.CBFCCfg.Tc == 0 {
+			r.CBFCCfg = cbfc.DefaultConfig()
+		}
+		cbfc.Install(r.Net, r.CBFCCfg)
+	}
+
+	r.attachDetectors(cfg.RecordTransitions)
+
+	hc := cfg.HostCfg
+	if hc == (host.Config{}) {
+		hc = host.DefaultConfig()
+	}
+	r.Mgr = host.Install(r.Net, hc)
+	return r
+}
+
+// attachDetectors installs the configured detector on every switch
+// egress port (all priorities).
+func (r *Rig) attachDetectors(record bool) {
+	if r.Det == DetNone {
+		return
+	}
+	nPrio := r.Net.Config().Priorities
+	for _, p := range r.Net.Ports() {
+		if r.Topo.Nodes[p.Node()].Kind != topo.Switch {
+			continue
+		}
+		for prio := 0; prio < nPrio; prio++ {
+			p.AttachDetector(uint8(prio), r.newDetector(p, uint8(prio), record))
+		}
+	}
+}
+
+func (r *Rig) newDetector(p *fabric.Port, prio uint8, record bool) fabric.Detector {
+	switch r.Det {
+	case DetBaseline:
+		if r.Kind == CEE {
+			return core.NewRED(r.Par.RED, r.Rnd.Split())
+		}
+		var probe func() int64
+		if gate, ok := p.Gate().(*cbfc.Gate); ok {
+			probe = func() int64 { return gate.Credits(prio) }
+		}
+		return core.NewFECN(core.FECNConfig{Thresh: r.Par.FECNThresh}, probe)
+	case DetTCD:
+		d := core.NewTCD(r.TCDConfigFor(p))
+		d.RecordTransitions = record
+		return d
+	case DetTCDAdaptive:
+		return core.NewAdaptiveTCD(core.DefaultAdaptiveConfig(r.TCDConfigFor(p)))
+	case DetNPECN:
+		red := core.NewRED(r.Par.RED, r.Rnd.Split())
+		return core.NewNPECN(core.NPECNConfig{RED: r.Par.RED}, red)
+	}
+	return nil
+}
+
+// TCDConfigFor derives the TCD parameters for one port from the analytic
+// model: Eqn (3) max(Ton) on CEE, the credit period bound on IB.
+func (r *Rig) TCDConfigFor(p *fabric.Port) core.TCDConfig {
+	var maxTon units.Time
+	if r.Kind == CEE {
+		params := core.CEEParams(r.Par.MTU, p.Rate, p.Delay)
+		if r.Par.XoffGap != 0 {
+			params.B1MinusB0 = r.Par.XoffGap
+		}
+		if r.Par.Tau != 0 {
+			params.Tau = r.Par.Tau
+		}
+		maxTon = core.MaxTonCEE(params, r.Par.Eps)
+	} else {
+		maxTon = core.MaxTonIB(r.CBFCCfg.Tc)
+	}
+	return core.TCDConfig{
+		MaxTon:     maxTon,
+		CongThresh: r.Par.CongThresh,
+		LowThresh:  r.Par.LowThresh,
+		TrendSlack: r.Par.TrendSlack,
+	}
+}
+
+// NewCC builds a per-flow rate controller.
+func (r *Rig) NewCC(kind CCKind, line units.Rate) host.RateController {
+	switch kind {
+	case CCDCQCN:
+		return cc.NewDCQCN(r.Sched, cc.DefaultDCQCNConfig(line))
+	case CCDCQCNTCD:
+		return cc.NewDCQCN(r.Sched, cc.TCDDCQCNConfig(line))
+	case CCTIMELY:
+		return cc.NewTIMELY(cc.DefaultTIMELYConfig(line))
+	case CCTIMELYTCD:
+		return cc.NewTIMELY(cc.TCDTIMELYConfig(line))
+	case CCIBCC:
+		return cc.NewIBCC(r.Sched, cc.DefaultIBCCConfig(line))
+	case CCIBCCTCD:
+		return cc.NewIBCC(r.Sched, cc.TCDIBCCConfig(line))
+	}
+	return host.FixedRate(line)
+}
+
+// TCDAt returns the TCD detector of a port (priority 0), panicking if the
+// rig does not run TCD — experiment wiring errors should be loud.
+func (r *Rig) TCDAt(p *fabric.Port) *core.TCD {
+	d, ok := p.DetectorAt(0).(*core.TCD)
+	if !ok {
+		panic(fmt.Sprintf("exp: port %s has no TCD detector", p.Name()))
+	}
+	return d
+}
+
+// Run drives the simulation to the horizon.
+func (r *Rig) Run(horizon units.Time) { r.Sched.RunUntil(horizon) }
+
+// Fig2Rig is the Figure-2 scenario rig with its observed ports.
+type Fig2Rig struct {
+	*Rig
+	F2 *topo.Fig2
+	// P0 is S1's NIC egress; P1 = T0->L0; P2 = L0->T2; P3 = T2->R1.
+	P0, P1, P2, P3 *fabric.Port
+}
+
+// Fig2Opts parameterizes the Figure-2 rig.
+type Fig2Opts struct {
+	Kind    FabricKind
+	Det     DetectorKind
+	Par     DetectorParams
+	Seed    uint64
+	Topo    topo.Fig2Config
+	HostCfg host.Config
+	Arch    fabric.Arch
+	Record  bool
+}
+
+// NewFig2Rig builds the §3.1 scenario network.
+func NewFig2Rig(o Fig2Opts) *Fig2Rig {
+	if o.Topo == (topo.Fig2Config{}) {
+		o.Topo = topo.DefaultFig2Config()
+	}
+	f2 := topo.NewFig2(o.Topo)
+	r := NewRig(RigConfig{
+		Topo:              f2.Topology,
+		Kind:              o.Kind,
+		Det:               o.Det,
+		Par:               o.Par,
+		Seed:              o.Seed,
+		HostCfg:           o.HostCfg,
+		Arch:              o.Arch,
+		RecordTransitions: o.Record,
+	})
+	return &Fig2Rig{
+		Rig: r,
+		F2:  f2,
+		P0:  r.Net.HostPort(f2.S1),
+		P1:  r.Net.PortOn(f2.T0, f2.LinkT0L0),
+		P2:  r.Net.PortOn(f2.L0, f2.LinkL0T2),
+		P3:  r.Net.PortOn(f2.T2, f2.LinkT2R1),
+	}
+}
+
+// LaunchBursts starts the §3.1 concurrent bursts: every A host sends a
+// size-byte burst to R1 in each round, rounds spaced gap apart. The
+// bursts are smaller than the BDP, so end-to-end congestion control
+// cannot regulate them (§3.1.1) — they run at line rate.
+func (fr *Fig2Rig) LaunchBursts(start units.Time, size units.ByteSize, rounds int, gap units.Time) []*host.Flow {
+	var flows []*host.Flow
+	for round := 0; round < rounds; round++ {
+		at := start + units.Time(round)*gap
+		for _, a := range fr.F2.A {
+			line := fr.Net.HostPort(a).Rate
+			flows = append(flows, fr.Mgr.AddFlow(a, fr.F2.R1, size, at, host.FixedRate(line)))
+		}
+	}
+	return flows
+}
+
+// FlowRateProbe returns a probe of a flow's receive goodput.
+func FlowRateProbe(f *host.Flow, interval units.Time) func() float64 {
+	var last units.ByteSize
+	return func() float64 {
+		cur := f.BytesRxed
+		delta := cur - last
+		last = cur
+		return float64(units.RateOf(delta, interval))
+	}
+}
+
+// PortIDs used in traces.
+var portLabels = []string{"P0", "P1", "P2", "P3"}
+
+// ObservedPorts returns the four labelled ports.
+func (fr *Fig2Rig) ObservedPorts() []*fabric.Port {
+	return []*fabric.Port{fr.P0, fr.P1, fr.P2, fr.P3}
+}
+
+// PortLabel names an observed port.
+func PortLabel(i int) string { return portLabels[i] }
+
+// MarkedFraction reports the fraction of a flow's received packets
+// carrying the given mark.
+func MarkedFraction(f *host.Flow, ce bool) float64 {
+	if f.PktsRxed == 0 {
+		return 0
+	}
+	if ce {
+		return float64(f.CEPackets) / float64(f.PktsRxed)
+	}
+	return float64(f.UEPackets) / float64(f.PktsRxed)
+}

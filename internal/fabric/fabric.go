@@ -1,0 +1,708 @@
+// Package fabric is the simulator's dataplane: switches, host NICs, ports,
+// egress queues and links, driven by a discrete-event scheduler.
+//
+// The fabric is deliberately mechanism-free: hop-by-hop flow control
+// (PFC, CBFC) plugs in through the TxGate/RxMeter interfaces, congestion
+// detection (ECN, FECN, TCD) through the Detector interface, and traffic
+// sources through the Source interface. This mirrors how the paper's
+// mechanisms compose: the same dataplane underlies CEE and InfiniBand,
+// differing only in which gates, meters and detectors are attached.
+//
+// The ON/OFF bookkeeping that TCD depends on lives here: a port is OFF
+// when it has traffic to send but its gate refuses (PAUSE in effect, or
+// credits exhausted). The port tells its detector when each OFF period
+// ends, which is exactly the state the paper's switches keep (one
+// timestamp per port per priority).
+package fabric
+
+import (
+	"fmt"
+
+	"github.com/tcdnet/tcd/internal/packet"
+	"github.com/tcdnet/tcd/internal/sim"
+	"github.com/tcdnet/tcd/internal/topo"
+	"github.com/tcdnet/tcd/internal/units"
+)
+
+// CtrlKind enumerates hop-by-hop flow-control frames. Control frames are
+// out-of-band: they bypass data queues but wait for the frame currently
+// being serialized, which is what makes the paper's response time
+// tau = 2*MTU/C + 2*t_p emerge rather than being hard-coded.
+type CtrlKind uint8
+
+const (
+	// CtrlPause is a PFC PAUSE for one priority.
+	CtrlPause CtrlKind = iota
+	// CtrlResume is a PFC RESUME for one priority.
+	CtrlResume
+	// CtrlCredit is a CBFC FCCL credit-limit update for one virtual lane.
+	CtrlCredit
+)
+
+func (k CtrlKind) String() string {
+	switch k {
+	case CtrlPause:
+		return "PAUSE"
+	case CtrlResume:
+		return "RESUME"
+	case CtrlCredit:
+		return "FCCL"
+	}
+	return fmt.Sprintf("CtrlKind(%d)", uint8(k))
+}
+
+// CtrlFrame is a hop-by-hop flow-control message.
+type CtrlFrame struct {
+	Kind CtrlKind
+	// Prio is the priority (CEE) or virtual lane (InfiniBand).
+	Prio uint8
+	// FCCL is the credit limit in bytes (CtrlCredit only).
+	FCCL int64
+}
+
+// ctrlFrameBytes is the wire size of a control frame (PFC PAUSE frames are
+// 64-byte Ethernet frames; FCCL flits are comparable).
+const ctrlFrameBytes units.ByteSize = 64
+
+// TxGate is the egress side of a hop-by-hop flow control: it decides
+// whether the port may transmit. Implementations receive control frames
+// from the downstream side and must call Port.GateChanged after any state
+// change that could unblock transmission.
+type TxGate interface {
+	// CanSend reports whether a packet of the given size on the given
+	// priority may be transmitted now.
+	CanSend(prio uint8, size units.ByteSize) bool
+	// OnSend accounts for a transmitted packet (e.g. consumes credits).
+	OnSend(prio uint8, size units.ByteSize)
+	// HandleCtrl processes a control frame from the downstream peer.
+	HandleCtrl(now units.Time, f CtrlFrame)
+}
+
+// RxMeter is the ingress side of a hop-by-hop flow control: it accounts
+// for buffer occupancy attributable to one input port and originates
+// control frames (PAUSE/RESUME or FCCL) toward the upstream peer.
+type RxMeter interface {
+	// OnArrive accounts for a packet entering the node via this port.
+	OnArrive(now units.Time, pkt *packet.Packet)
+	// OnFree accounts for that packet finally leaving the node.
+	OnFree(now units.Time, pkt *packet.Packet)
+}
+
+// Detector observes an egress port and marks packets (ECN/FECN/TCD).
+// One detector instance serves one (port, priority) pair.
+type Detector interface {
+	// OnDequeue is called when a packet starts transmission at the port;
+	// qlen is the egress queue length in bytes after removing pkt. The
+	// detector may mutate pkt.Code.
+	OnDequeue(now units.Time, pkt *packet.Packet, qlen units.ByteSize)
+	// OnOffStart is called when an OFF period begins: the port has queued
+	// traffic but the gate refuses transmission.
+	OnOffStart(now units.Time)
+	// OnOffEnd is called when that OFF period ends (the gate allows
+	// transmission again). It always precedes the next OnDequeue.
+	OnOffEnd(now units.Time)
+}
+
+// EnqueueDetector is an optional Detector extension for mechanisms that
+// evaluate their marking condition when a packet *arrives* at the egress
+// queue rather than when it leaves. InfiniBand's FECN root/victim test is
+// arrival-based: a packet arriving while the port is credit-starved is a
+// victim, one arriving in a credit-rich window looks like root traffic.
+type EnqueueDetector interface {
+	OnEnqueue(now units.Time, pkt *packet.Packet, qlenBefore units.ByteSize)
+}
+
+// Source feeds a host NIC port. The port pulls from the source whenever
+// it is idle, which models a NIC QP scheduler: paced packets do not sit in
+// a standing queue, and after a PAUSE the accumulated pacing debt drains
+// at line rate — the ON-OFF pattern the paper describes at port P0.
+type Source interface {
+	// Head returns the next packet and the earliest time it may be sent.
+	// It returns (nil, t) when nothing is pending before t; t may be
+	// units.Forever when the source is idle.
+	Head(now units.Time) (*packet.Packet, units.Time)
+	// Advance removes the packet last returned by Head.
+	Advance()
+}
+
+// Arch selects the switch queueing architecture.
+type Arch uint8
+
+const (
+	// OutputQueued buffers packets in one FIFO per (egress, priority) —
+	// the model used for the CEE experiments.
+	OutputQueued Arch = iota
+	// InputQueuedVoQ buffers packets in virtual output queues per input
+	// port, with round-robin arbitration at each output — the
+	// architecture the paper's InfiniBand simulator uses. Queue-length
+	// detectors see the aggregate backlog destined to the output, so
+	// marking semantics carry over.
+	InputQueuedVoQ
+)
+
+// Config carries fabric-wide parameters.
+type Config struct {
+	// Priorities is the number of PFC priorities / IB virtual lanes.
+	Priorities int
+	// Arch is the switch queueing architecture (default OutputQueued).
+	Arch Arch
+	// SwitchDelay is the fixed ingress-to-egress forwarding latency.
+	SwitchDelay units.Time
+	// CtrlJitter, if non-nil, returns extra delay added to each control
+	// frame (used to reproduce the testbed's software jitter).
+	CtrlJitter func() units.Time
+	// MaxHops aborts the run if a packet exceeds this hop count
+	// (a routing-loop guard). Zero means 64.
+	MaxHops int
+}
+
+// DefaultConfig returns a single-priority fabric with no switch latency.
+func DefaultConfig() Config {
+	return Config{Priorities: 1}
+}
+
+// fifo is an allocation-friendly packet queue.
+type fifo struct {
+	buf  []*packet.Packet
+	head int
+}
+
+func (f *fifo) push(p *packet.Packet) { f.buf = append(f.buf, p) }
+func (f *fifo) empty() bool           { return f.head >= len(f.buf) }
+func (f *fifo) len() int              { return len(f.buf) - f.head }
+func (f *fifo) peek() *packet.Packet  { return f.buf[f.head] }
+func (f *fifo) pop() *packet.Packet {
+	p := f.buf[f.head]
+	f.buf[f.head] = nil
+	f.head++
+	if f.head == len(f.buf) {
+		f.buf = f.buf[:0]
+		f.head = 0
+	} else if f.head > 1024 && f.head*2 > len(f.buf) {
+		n := copy(f.buf, f.buf[f.head:])
+		for i := n; i < len(f.buf); i++ {
+			f.buf[i] = nil
+		}
+		f.buf = f.buf[:n]
+		f.head = 0
+	}
+	return p
+}
+
+// Port is one side of a link: it owns the egress machinery toward its
+// peer and the ingress accounting for traffic from its peer.
+type Port struct {
+	net   *Network
+	node  *node
+	Index int // index within the owning node
+	Link  int // topology link index
+	Peer  *Port
+	Rate  units.Rate
+	Delay units.Time
+
+	// Egress. In OutputQueued mode queues[prio] is the FIFO; in
+	// InputQueuedVoQ mode voqs[prio][inputPort] are the virtual output
+	// queues and rr[prio] the round-robin arbitration pointer. qbytes
+	// aggregates either way.
+	queues  []fifo
+	voqs    [][]fifo
+	rr      []int
+	qbytes  []units.ByteSize
+	busy    bool
+	busyEnd units.Time
+	gate    TxGate
+	dets    []Detector
+	blocked []bool
+	src     Source
+	wakeAt  units.Time
+
+	// Ingress.
+	meter RxMeter
+
+	// Counters (cumulative; sampled by tracers).
+	TxBytes     units.ByteSize
+	TxPackets   uint64
+	TxDataBytes units.ByteSize
+	MarkedCE    uint64
+	MarkedUE    uint64
+	CtrlSent    uint64
+	PauseTime   units.Time // total time spent blocked (all priorities)
+	blockStart  units.Time
+}
+
+// Name renders "node[idx]→peer" for traces and errors.
+func (p *Port) Name() string {
+	return fmt.Sprintf("%s[%d]->%s", p.net.Topo.Name(p.node.id), p.Index, p.net.Topo.Name(p.Peer.node.id))
+}
+
+// Node returns the owning node's ID.
+func (p *Port) Node() packet.NodeID { return p.node.id }
+
+// QueueBytes reports the egress queue length of one priority in bytes.
+func (p *Port) QueueBytes(prio uint8) units.ByteSize { return p.qbytes[prio] }
+
+// TotalQueueBytes reports the egress queue length across priorities.
+func (p *Port) TotalQueueBytes() units.ByteSize {
+	var t units.ByteSize
+	for _, b := range p.qbytes {
+		t += b
+	}
+	return t
+}
+
+// Blocked reports whether the priority is currently OFF (gate-refused).
+func (p *Port) Blocked(prio uint8) bool { return p.blocked[prio] }
+
+// Busy reports whether the port is currently serializing a packet.
+func (p *Port) Busy() bool { return p.busy }
+
+// AttachGate installs the egress flow-control gate.
+func (p *Port) AttachGate(g TxGate) { p.gate = g }
+
+// Gate returns the installed egress gate (nil if none).
+func (p *Port) Gate() TxGate { return p.gate }
+
+// AttachMeter installs the ingress flow-control meter.
+func (p *Port) AttachMeter(m RxMeter) { p.meter = m }
+
+// Meter returns the installed ingress meter (nil if none).
+func (p *Port) Meter() RxMeter { return p.meter }
+
+// AttachDetector installs the marking detector for one priority.
+func (p *Port) AttachDetector(prio uint8, d Detector) { p.dets[prio] = d }
+
+// Detector returns the detector for one priority (nil if none).
+func (p *Port) DetectorAt(prio uint8) Detector { return p.dets[prio] }
+
+// AttachSource installs the NIC pull source (host ports only).
+func (p *Port) AttachSource(s Source) { p.src = s }
+
+// SendCtrl transmits a flow-control frame to the peer's gate. The frame
+// waits behind the packet currently being serialized (it cannot interrupt
+// an ongoing transmission), then takes one serialization time plus the
+// propagation delay — yielding the paper's tau.
+func (p *Port) SendCtrl(f CtrlFrame) {
+	now := p.net.Sched.Now()
+	wait := units.Time(0)
+	if p.busy && p.busyEnd > now {
+		wait = p.busyEnd - now
+	}
+	d := wait + units.TxTime(ctrlFrameBytes, p.Rate) + p.Delay
+	if p.net.cfg.CtrlJitter != nil {
+		d += p.net.cfg.CtrlJitter()
+	}
+	p.CtrlSent++
+	peer := p.Peer
+	p.net.Sched.After(d, func() {
+		if peer.gate != nil {
+			peer.gate.HandleCtrl(p.net.Sched.Now(), f)
+		}
+	})
+}
+
+// GateChanged must be called by the gate after its state may have become
+// more permissive (RESUME received, credits arrived). It re-evaluates
+// blocked bookkeeping and restarts transmission if possible.
+func (p *Port) GateChanged() {
+	if !p.busy {
+		p.tryTransmit()
+	}
+}
+
+// Kick wakes the port to re-poll its source (new flow became active).
+func (p *Port) Kick() {
+	if !p.busy {
+		p.tryTransmit()
+	}
+}
+
+// Enqueue places a packet on the egress queue (switch forwarding path).
+func (p *Port) Enqueue(pkt *packet.Packet) {
+	prio := pkt.Priority
+	if d, ok := p.dets[prio].(EnqueueDetector); ok {
+		before := pkt.Code
+		d.OnEnqueue(p.net.Sched.Now(), pkt, p.qbytes[prio])
+		if pkt.Code != before {
+			switch pkt.Code {
+			case packet.CE:
+				p.MarkedCE++
+			case packet.UE:
+				p.MarkedUE++
+			}
+		}
+	}
+	if p.useVoQ() && pkt.InPort >= 0 {
+		p.voq(prio, int(pkt.InPort)).push(pkt)
+	} else {
+		p.queues[prio].push(pkt)
+	}
+	p.qbytes[prio] += pkt.Size
+	if !p.busy {
+		p.tryTransmit()
+	}
+}
+
+// useVoQ reports whether this port buffers in virtual output queues.
+func (p *Port) useVoQ() bool {
+	return p.net.cfg.Arch == InputQueuedVoQ && p.node.kind == topo.Switch
+}
+
+// voq returns the virtual output queue of one (priority, input) pair,
+// growing the table lazily to the node's port count.
+func (p *Port) voq(prio uint8, in int) *fifo {
+	if p.voqs == nil {
+		p.voqs = make([][]fifo, len(p.queues))
+	}
+	if p.voqs[prio] == nil {
+		p.voqs[prio] = make([]fifo, len(p.node.ports))
+	}
+	if in >= len(p.voqs[prio]) {
+		grown := make([]fifo, in+1)
+		copy(grown, p.voqs[prio])
+		p.voqs[prio] = grown
+	}
+	return &p.voqs[prio][in]
+}
+
+// voqHead picks the next input's head packet for one priority using
+// round-robin arbitration, returning nil when all VoQs are empty.
+func (p *Port) voqHead(prio uint8) (*fifo, *packet.Packet) {
+	if p.voqs == nil || p.voqs[prio] == nil {
+		return nil, nil
+	}
+	n := len(p.voqs[prio])
+	for k := 0; k < n; k++ {
+		i := (p.rr[prio] + k) % n
+		q := &p.voqs[prio][i]
+		if !q.empty() {
+			p.rr[prio] = (i + 1) % n
+			return q, q.peek()
+		}
+	}
+	return nil, nil
+}
+
+func (p *Port) setBlocked(prio uint8, b bool) {
+	if p.blocked[prio] == b {
+		return
+	}
+	now := p.net.Sched.Now()
+	p.blocked[prio] = b
+	if b {
+		p.blockStart = now
+	} else {
+		p.PauseTime += now - p.blockStart
+	}
+	if d := p.dets[prio]; d != nil {
+		if b {
+			d.OnOffStart(now)
+		} else {
+			d.OnOffEnd(now)
+		}
+	}
+}
+
+// tryTransmit starts the next transmission if the port is idle. Strict
+// priority across queues (lowest index first), then the pull source.
+func (p *Port) tryTransmit() {
+	if p.busy {
+		return
+	}
+	now := p.net.Sched.Now()
+	for prio := 0; prio < len(p.queues); prio++ {
+		q := &p.queues[prio]
+		var head *packet.Packet
+		if !q.empty() {
+			head = q.peek()
+		} else if p.useVoQ() {
+			q, head = p.voqHead(uint8(prio))
+		}
+		if head == nil {
+			continue
+		}
+		if p.gate != nil && !p.gate.CanSend(uint8(prio), head.Size) {
+			p.setBlocked(uint8(prio), true)
+			continue
+		}
+		p.setBlocked(uint8(prio), false)
+		q.pop()
+		p.qbytes[prio] -= head.Size
+		p.transmit(head, true)
+		return
+	}
+	if p.src == nil {
+		return
+	}
+	pkt, at := p.src.Head(now)
+	if pkt == nil {
+		if at != units.Forever && at > now {
+			p.scheduleWake(at)
+		}
+		return
+	}
+	if at > now {
+		p.scheduleWake(at)
+		return
+	}
+	prio := pkt.Priority
+	if p.gate != nil && !p.gate.CanSend(prio, pkt.Size) {
+		p.setBlocked(prio, true)
+		return
+	}
+	p.setBlocked(prio, false)
+	p.src.Advance()
+	p.transmit(pkt, false)
+}
+
+func (p *Port) scheduleWake(at units.Time) {
+	if p.wakeAt == at {
+		return
+	}
+	p.wakeAt = at
+	p.net.Sched.At(at, func() {
+		if p.wakeAt != at {
+			return
+		}
+		p.wakeAt = 0
+		if !p.busy {
+			p.tryTransmit()
+		}
+	})
+}
+
+// transmit serializes pkt onto the wire. fromQueue distinguishes switch
+// forwarding (detectors run, ingress accounting released) from host
+// injection.
+func (p *Port) transmit(pkt *packet.Packet, fromQueue bool) {
+	now := p.net.Sched.Now()
+	if fromQueue && p.node.kind == topo.Switch {
+		if d := p.dets[pkt.Priority]; d != nil {
+			before := pkt.Code
+			d.OnDequeue(now, pkt, p.qbytes[pkt.Priority])
+			if pkt.Code != before {
+				switch pkt.Code {
+				case packet.CE:
+					p.MarkedCE++
+				case packet.UE:
+					p.MarkedUE++
+				}
+			}
+		}
+	}
+	if p.gate != nil {
+		p.gate.OnSend(pkt.Priority, pkt.Size)
+	}
+	tx := units.TxTime(pkt.Size, p.Rate)
+	p.busy = true
+	p.busyEnd = now + tx
+	p.TxBytes += pkt.Size
+	p.TxPackets++
+	if pkt.Kind == packet.Data {
+		p.TxDataBytes += pkt.Size
+	}
+	inPort := pkt.InPort
+	isSwitch := p.node.kind == topo.Switch
+	p.net.Sched.At(p.busyEnd, func() {
+		p.busy = false
+		// The packet has fully left this node: release ingress accounting.
+		if isSwitch && inPort >= 0 {
+			ing := p.node.ports[inPort]
+			if ing.meter != nil {
+				ing.meter.OnFree(p.net.Sched.Now(), pkt)
+			}
+		}
+		// Propagate to the peer.
+		peer := p.Peer
+		p.net.Sched.After(p.Delay, func() { peer.receive(pkt) })
+		p.tryTransmit()
+	})
+}
+
+// receive handles a packet arriving from the wire at this (ingress) port.
+func (p *Port) receive(pkt *packet.Packet) {
+	now := p.net.Sched.Now()
+	if p.meter != nil {
+		p.meter.OnArrive(now, pkt)
+	}
+	n := p.node
+	if n.kind == topo.Host {
+		// Hosts consume at line rate: free ingress accounting immediately.
+		if p.meter != nil {
+			p.meter.OnFree(now, pkt)
+		}
+		if p.net.Sink != nil {
+			p.net.Sink(n.id, pkt)
+		}
+		return
+	}
+	pkt.InPort = int32(p.Index)
+	pkt.Hops++
+	if int(pkt.Hops) > p.net.cfg.MaxHops {
+		panic(fmt.Sprintf("fabric: routing loop: %s exceeded %d hops at %s",
+			pkt, p.net.cfg.MaxHops, p.net.Topo.Name(n.id)))
+	}
+	out := p.net.Route(n.id, pkt)
+	if out == nil {
+		panic(fmt.Sprintf("fabric: no route at %s for %s dst=%s",
+			p.net.Topo.Name(n.id), pkt, p.net.Topo.Name(pkt.Dst)))
+	}
+	if out.node != n {
+		panic("fabric: Route returned a port of another node")
+	}
+	if p.net.cfg.SwitchDelay > 0 {
+		p.net.Sched.After(p.net.cfg.SwitchDelay, func() { out.Enqueue(pkt) })
+	} else {
+		out.Enqueue(pkt)
+	}
+}
+
+type node struct {
+	id    packet.NodeID
+	kind  topo.NodeKind
+	ports []*Port
+}
+
+// Network binds a topology to the event scheduler and owns all ports.
+type Network struct {
+	Sched *sim.Scheduler
+	Topo  *topo.Topology
+	cfg   Config
+	nodes []*node
+	ports []*Port
+	// portAt[linkIdx] = [2]*Port: side A, side B.
+	portAt [][2]*Port
+
+	// Route picks the egress port for pkt at switch sw. It must be set
+	// before traffic flows.
+	Route func(sw packet.NodeID, pkt *packet.Packet) *Port
+	// Sink receives packets arriving at hosts. It must be set before
+	// traffic flows.
+	Sink func(host packet.NodeID, pkt *packet.Packet)
+}
+
+// New builds the dataplane for a topology.
+func New(s *sim.Scheduler, t *topo.Topology, cfg Config) *Network {
+	if cfg.Priorities <= 0 {
+		cfg.Priorities = 1
+	}
+	if cfg.MaxHops == 0 {
+		cfg.MaxHops = 64
+	}
+	n := &Network{Sched: s, Topo: t, cfg: cfg}
+	n.nodes = make([]*node, len(t.Nodes))
+	for i, tn := range t.Nodes {
+		n.nodes[i] = &node{id: tn.ID, kind: tn.Kind}
+	}
+	n.portAt = make([][2]*Port, len(t.Links))
+	for li, l := range t.Links {
+		mk := func(owner packet.NodeID) *Port {
+			nd := n.nodes[owner]
+			p := &Port{
+				net:     n,
+				node:    nd,
+				Index:   len(nd.ports),
+				Link:    li,
+				Rate:    l.Rate,
+				Delay:   l.Delay,
+				queues:  make([]fifo, cfg.Priorities),
+				rr:      make([]int, cfg.Priorities),
+				qbytes:  make([]units.ByteSize, cfg.Priorities),
+				dets:    make([]Detector, cfg.Priorities),
+				blocked: make([]bool, cfg.Priorities),
+			}
+			nd.ports = append(nd.ports, p)
+			n.ports = append(n.ports, p)
+			return p
+		}
+		pa, pb := mk(l.A), mk(l.B)
+		pa.Peer, pb.Peer = pb, pa
+		n.portAt[li] = [2]*Port{pa, pb}
+	}
+	return n
+}
+
+// Config returns the fabric configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// Ports returns all ports (both sides of every link).
+func (n *Network) Ports() []*Port { return n.ports }
+
+// NodePorts returns the ports owned by a node, in link-insertion order.
+func (n *Network) NodePorts(id packet.NodeID) []*Port { return n.nodes[id].ports }
+
+// PortOn returns the port of node `owner` on topology link `link`.
+func (n *Network) PortOn(owner packet.NodeID, link int) *Port {
+	pair := n.portAt[link]
+	if pair[0].node.id == owner {
+		return pair[0]
+	}
+	if pair[1].node.id == owner {
+		return pair[1]
+	}
+	panic(fmt.Sprintf("fabric: node %s is not an endpoint of link %d", n.Topo.Name(owner), link))
+}
+
+// HostPort returns a host's single NIC port.
+func (n *Network) HostPort(host packet.NodeID) *Port {
+	nd := n.nodes[host]
+	if nd.kind != topo.Host {
+		panic("fabric: HostPort of a switch")
+	}
+	if len(nd.ports) != 1 {
+		panic("fabric: host with multiple ports")
+	}
+	return nd.ports[0]
+}
+
+// PortToward returns the port of node a on the (unique) direct link to b.
+func (n *Network) PortToward(a, b packet.NodeID) *Port {
+	li := n.Topo.LinkBetween(a, b)
+	if li < 0 {
+		panic(fmt.Sprintf("fabric: no link %s-%s", n.Topo.Name(a), n.Topo.Name(b)))
+	}
+	return n.PortOn(a, li)
+}
+
+// StrandedReport describes traffic stuck in the network after a run: a
+// lossless fabric with cyclic buffer dependencies can deadlock (the
+// credit-loop problem the deadlock literature the paper cites studies),
+// and a deadlocked run otherwise just looks "quiet". Call Stranded after
+// the scheduler drains or a horizon expires to tell the difference.
+type StrandedReport struct {
+	// Ports lists ports still holding queued bytes.
+	Ports []*Port
+	// Bytes is the total stranded volume.
+	Bytes units.ByteSize
+	// Blocked counts the stranded ports whose gate currently refuses
+	// transmission — all of them blocked is the deadlock signature.
+	Blocked int
+}
+
+// Deadlocked reports whether every stranded port is flow-control
+// blocked: no event can ever drain them.
+func (r *StrandedReport) Deadlocked() bool {
+	return len(r.Ports) > 0 && r.Blocked == len(r.Ports)
+}
+
+// Stranded scans all ports for undelivered queued traffic.
+func (n *Network) Stranded() StrandedReport {
+	var rep StrandedReport
+	for _, p := range n.ports {
+		q := p.TotalQueueBytes()
+		if q == 0 {
+			continue
+		}
+		rep.Ports = append(rep.Ports, p)
+		rep.Bytes += q
+		anyBlocked := false
+		for prio := range p.blocked {
+			if p.blocked[prio] {
+				anyBlocked = true
+			}
+		}
+		if anyBlocked {
+			rep.Blocked++
+		}
+	}
+	return rep
+}

@@ -1,0 +1,419 @@
+// Package host models the endpoints: NIC packet scheduling with per-flow
+// rate pacing, message framing, and the receiver side (FCT recording,
+// ACK/CNP generation — the DCQCN notification point and the InfiniBand
+// destination channel adapter).
+//
+// A host's NIC is a pull source for its fabric port: packets are created
+// when the port is ready to serialize them, so paced traffic does not
+// accumulate in a standing NIC queue. During a PAUSE (or credit
+// starvation) pacing debt builds up; on release the NIC drains the debt at
+// line rate — producing the ON-OFF pattern the paper observes at port P0.
+package host
+
+import (
+	"fmt"
+
+	"github.com/tcdnet/tcd/internal/fabric"
+	"github.com/tcdnet/tcd/internal/packet"
+	"github.com/tcdnet/tcd/internal/topo"
+	"github.com/tcdnet/tcd/internal/units"
+)
+
+// SentObserver is an optional RateController extension: controllers that
+// maintain a transmitted-byte counter (DCQCN's rate-increase byte stage)
+// receive a callback for every packet the NIC serializes.
+type SentObserver interface {
+	OnSent(now units.Time, wireBytes units.ByteSize)
+}
+
+// RateController is the per-flow congestion-control state machine at the
+// sender (the DCQCN reaction point, the TIMELY engine, or the IB CC
+// channel adapter). Implementations live in package cc.
+type RateController interface {
+	// CurrentRate reports the rate to pace the next packet at.
+	CurrentRate() units.Rate
+	// OnNotify handles a congestion notification packet for this flow;
+	// ce and ue echo the TCD code point observed at the receiver.
+	OnNotify(now units.Time, ce, ue bool)
+	// OnAck handles an acknowledgement carrying a completed RTT sample
+	// and the echoed marks of the acknowledged data packet.
+	OnAck(now units.Time, rtt units.Time, ce, ue bool)
+}
+
+// Config parameterizes all endpoints of a network.
+type Config struct {
+	// MTU is the data payload bytes per packet (1000 B in the paper).
+	MTU units.ByteSize
+	// AckEveryPacket makes receivers acknowledge every data packet
+	// (needed by TIMELY for RTT samples). ACKs echo the data packet's
+	// code point.
+	AckEveryPacket bool
+	// CNPWindow rate-limits congestion notification packets: at most one
+	// CE-echo CNP (and one UE-echo CNP) per flow per window. DCQCN uses
+	// 50 us.
+	CNPWindow units.Time
+	// PaceBurst bounds how much pacing debt a flow may carry through a
+	// pause; the NIC never bursts more than this beyond the paced
+	// schedule. Two MTUs models a hardware rate limiter's bucket.
+	PaceBurst units.ByteSize
+	// Capable is the TCD code point new data packets carry. Set to
+	// packet.Capable (default) for TCD-aware transports.
+	NotCapable bool
+}
+
+// DefaultConfig returns the paper's endpoint parameters.
+func DefaultConfig() Config {
+	return Config{
+		MTU:       1000,
+		CNPWindow: 50 * units.Microsecond,
+		PaceBurst: 2 * 1000,
+	}
+}
+
+// Flow is one message in flight between two hosts, with its measured
+// completion statistics.
+type Flow struct {
+	ID    packet.FlowID
+	Src   packet.NodeID
+	Dst   packet.NodeID
+	Size  units.ByteSize
+	Start units.Time
+	Ctrl  RateController
+	// Priority is the PFC priority / IB virtual lane the flow's packets
+	// (and their ACKs/CNPs) travel on.
+	Priority uint8
+
+	// Receiver-side observations.
+	BytesRxed units.ByteSize
+	PktsRxed  int
+	CEPackets int // data packets received with CE
+	UEPackets int // data packets received with UE
+	Done      bool
+	FCT       units.Time // completion latency (valid when Done)
+	firstRxAt units.Time
+	lastCNPce units.Time
+	lastCNPue units.Time
+	sender    *senderFlow
+}
+
+// FirstByteAt reports when the receiver saw the flow's first packet
+// (zero if nothing arrived yet) — the time-to-first-byte metric.
+func (f *Flow) FirstByteAt() units.Time { return f.firstRxAt }
+
+// Slowdown reports FCT relative to the given ideal baseline.
+func (f *Flow) Slowdown(baseline units.Time) float64 {
+	if !f.Done || baseline <= 0 {
+		return 0
+	}
+	return float64(f.FCT) / float64(baseline)
+}
+
+// senderFlow is the NIC-side view of a flow.
+type senderFlow struct {
+	flow      *Flow
+	remaining units.ByteSize
+	seq       int32
+	nextAt    units.Time
+}
+
+// Endpoint is one host's NIC: sender flows plus a control-packet queue.
+type Endpoint struct {
+	mgr  *Manager
+	id   packet.NodeID
+	port *fabric.Port
+
+	active []*senderFlow
+	ctrlQ  []*packet.Packet
+
+	// cached head packet so repeated Head calls return one identity.
+	headPkt  *packet.Packet
+	headFlow *senderFlow
+}
+
+// Manager owns all endpoints and flows of one simulation.
+type Manager struct {
+	net *fabric.Network
+	cfg Config
+
+	endpoints map[packet.NodeID]*Endpoint
+	flows     []*Flow
+	nextID    packet.FlowID
+
+	// OnDone, if set, is called when a flow's last data byte arrives.
+	OnDone func(*Flow)
+}
+
+// Install creates an endpoint on every host and wires the network sink.
+func Install(n *fabric.Network, cfg Config) *Manager {
+	if cfg.MTU <= 0 {
+		cfg.MTU = 1000
+	}
+	m := &Manager{net: n, cfg: cfg, endpoints: make(map[packet.NodeID]*Endpoint)}
+	for _, nd := range n.Topo.Nodes {
+		if nd.Kind != topo.Host {
+			continue
+		}
+		ep := &Endpoint{mgr: m, id: nd.ID, port: n.HostPort(nd.ID)}
+		ep.port.AttachSource(ep)
+		m.endpoints[nd.ID] = ep
+	}
+	n.Sink = m.sink
+	return m
+}
+
+// Config returns the endpoint configuration.
+func (m *Manager) Config() Config { return m.cfg }
+
+// Flows returns all flows registered so far.
+func (m *Manager) Flows() []*Flow { return m.flows }
+
+// Endpoint returns the endpoint of a host.
+func (m *Manager) Endpoint(h packet.NodeID) *Endpoint { return m.endpoints[h] }
+
+// SetPriority assigns the flow's PFC priority / virtual lane. It must be
+// called before the flow starts sending.
+func (m *Manager) SetPriority(f *Flow, prio uint8) { f.Priority = prio }
+
+// AddFlow registers a flow of size bytes from src to dst starting at
+// start, paced by ctrl. It returns the Flow for later inspection.
+func (m *Manager) AddFlow(src, dst packet.NodeID, size units.ByteSize, start units.Time, ctrl RateController) *Flow {
+	ep, ok := m.endpoints[src]
+	if !ok {
+		panic(fmt.Sprintf("host: AddFlow from non-host %d", src))
+	}
+	if _, ok := m.endpoints[dst]; !ok {
+		panic(fmt.Sprintf("host: AddFlow to non-host %d", dst))
+	}
+	if size <= 0 {
+		panic("host: AddFlow with non-positive size")
+	}
+	f := &Flow{ID: m.nextID, Src: src, Dst: dst, Size: size, Start: start, Ctrl: ctrl}
+	m.nextID++
+	m.flows = append(m.flows, f)
+	m.net.Sched.At(start, func() { ep.activate(f) })
+	return f
+}
+
+func (ep *Endpoint) activate(f *Flow) {
+	sf := &senderFlow{flow: f, remaining: f.Size, nextAt: ep.mgr.net.Sched.Now()}
+	f.sender = sf
+	ep.active = append(ep.active, sf)
+	ep.port.Kick()
+}
+
+// Head implements fabric.Source.
+func (ep *Endpoint) Head(now units.Time) (*packet.Packet, units.Time) {
+	// Control packets (ACKs, CNPs) go first; they are tiny and latency
+	// sensitive.
+	if len(ep.ctrlQ) > 0 {
+		return ep.ctrlQ[0], now
+	}
+	var best *senderFlow
+	for _, sf := range ep.active {
+		if best == nil || sf.nextAt < best.nextAt ||
+			(sf.nextAt == best.nextAt && sf.flow.ID < best.flow.ID) {
+			best = sf
+		}
+	}
+	if best == nil {
+		ep.headPkt, ep.headFlow = nil, nil
+		return nil, units.Forever
+	}
+	if best.nextAt > now {
+		ep.headPkt, ep.headFlow = nil, nil
+		return nil, best.nextAt
+	}
+	if ep.headFlow != best || ep.headPkt == nil {
+		ep.headPkt = ep.buildData(best)
+		ep.headFlow = best
+	}
+	return ep.headPkt, best.nextAt
+}
+
+func (ep *Endpoint) buildData(sf *senderFlow) *packet.Packet {
+	payload := ep.mgr.cfg.MTU
+	if sf.remaining < payload {
+		payload = sf.remaining
+	}
+	code := packet.Capable
+	if ep.mgr.cfg.NotCapable {
+		code = packet.NotCapable
+	}
+	return &packet.Packet{
+		Flow:     sf.flow.ID,
+		Src:      ep.id,
+		Dst:      sf.flow.Dst,
+		Kind:     packet.Data,
+		Size:     payload + packet.HeaderBytes,
+		Payload:  payload,
+		Seq:      sf.seq,
+		Last:     payload == sf.remaining,
+		Priority: sf.flow.Priority,
+		Code:     code,
+		InPort:   -1,
+	}
+}
+
+// Advance implements fabric.Source.
+func (ep *Endpoint) Advance() {
+	now := ep.mgr.net.Sched.Now()
+	if len(ep.ctrlQ) > 0 {
+		ep.ctrlQ = ep.ctrlQ[1:]
+		return
+	}
+	sf := ep.headFlow
+	if sf == nil || ep.headPkt == nil {
+		panic("host: Advance without Head")
+	}
+	pkt := ep.headPkt
+	pkt.SentAt = now
+	ep.headPkt, ep.headFlow = nil, nil
+
+	sf.remaining -= pkt.Payload
+	sf.seq++
+	if obs, ok := sf.flow.Ctrl.(SentObserver); ok {
+		obs.OnSent(now, pkt.Size)
+	}
+	// Token-bucket pacing with bounded debt carry-over.
+	rate := sf.flow.Ctrl.CurrentRate()
+	burst := units.TxTime(ep.mgr.cfg.PaceBurst, ep.port.Rate)
+	floor := now - burst
+	if sf.nextAt < floor {
+		sf.nextAt = floor
+	}
+	sf.nextAt += units.TxTime(pkt.Size, rate)
+	if sf.remaining <= 0 {
+		ep.removeActive(sf)
+	}
+}
+
+func (ep *Endpoint) removeActive(sf *senderFlow) {
+	for i, v := range ep.active {
+		if v == sf {
+			ep.active = append(ep.active[:i], ep.active[i+1:]...)
+			return
+		}
+	}
+}
+
+// ActiveFlows reports the number of flows with unsent data.
+func (ep *Endpoint) ActiveFlows() int { return len(ep.active) }
+
+// pushCtrl queues a control packet and wakes the NIC.
+func (ep *Endpoint) pushCtrl(p *packet.Packet) {
+	ep.ctrlQ = append(ep.ctrlQ, p)
+	// A newly queued control packet preempts a cached data head.
+	ep.headPkt, ep.headFlow = nil, nil
+	ep.port.Kick()
+}
+
+// sink dispatches packets arriving at hosts.
+func (m *Manager) sink(h packet.NodeID, pkt *packet.Packet) {
+	ep := m.endpoints[h]
+	now := m.net.Sched.Now()
+	f := m.flows[pkt.Flow]
+	switch pkt.Kind {
+	case packet.Data:
+		m.onData(ep, f, pkt, now)
+	case packet.Ack:
+		f.Ctrl.OnAck(now, now-pkt.SentAt, pkt.EchoCE, pkt.EchoUE)
+	case packet.CNP:
+		f.Ctrl.OnNotify(now, pkt.EchoCE, pkt.EchoUE)
+	}
+}
+
+func (m *Manager) onData(ep *Endpoint, f *Flow, pkt *packet.Packet, now units.Time) {
+	if f.PktsRxed == 0 {
+		f.firstRxAt = now
+	}
+	f.BytesRxed += pkt.Payload
+	f.PktsRxed++
+	ce := pkt.Code == packet.CE
+	ue := pkt.Code == packet.UE
+	if ce {
+		f.CEPackets++
+	}
+	if ue {
+		f.UEPackets++
+	}
+	if pkt.Last && !f.Done {
+		f.Done = true
+		f.FCT = now - f.Start
+		if m.OnDone != nil {
+			m.OnDone(f)
+		}
+	}
+	if m.cfg.AckEveryPacket {
+		ep.pushCtrl(&packet.Packet{
+			Flow:     f.ID,
+			Src:      ep.id,
+			Dst:      f.Src,
+			Kind:     packet.Ack,
+			Size:     packet.AckBytes,
+			Priority: f.Priority,
+			Code:     packet.Capable,
+			EchoCE:   ce,
+			EchoUE:   ue,
+			SentAt:   pkt.SentAt, // echo for RTT measurement
+			InPort:   -1,
+		})
+	}
+	// Congestion notification point: echo CE (and UE, for TCD-aware
+	// transports) back to the reaction point, rate-limited per flow.
+	if ce && (f.lastCNPce == 0 || now-f.lastCNPce >= m.cfg.CNPWindow) {
+		f.lastCNPce = now
+		ep.pushCtrl(m.cnp(ep.id, f, true, false))
+	}
+	if ue && (f.lastCNPue == 0 || now-f.lastCNPue >= m.cfg.CNPWindow) {
+		f.lastCNPue = now
+		ep.pushCtrl(m.cnp(ep.id, f, false, true))
+	}
+}
+
+func (m *Manager) cnp(from packet.NodeID, f *Flow, ce, ue bool) *packet.Packet {
+	return &packet.Packet{
+		Flow:     f.ID,
+		Src:      from,
+		Dst:      f.Src,
+		Kind:     packet.CNP,
+		Size:     packet.CNPBytes,
+		Priority: f.Priority,
+		Code:     packet.Capable,
+		EchoCE:   ce,
+		EchoUE:   ue,
+		InPort:   -1,
+	}
+}
+
+// IdealFCT reports the store-and-forward baseline completion time for a
+// flow of size bytes over a path of hops links at the given rate and
+// per-link propagation delay: full-size serialization at each hop for the
+// pipeline head plus the message serialization at the bottleneck.
+func IdealFCT(size units.ByteSize, mtu units.ByteSize, rate units.Rate, hops int, delay units.Time) units.Time {
+	if hops < 1 {
+		hops = 1
+	}
+	npkt := (size + mtu - 1) / mtu
+	lastPkt := size - (npkt-1)*mtu
+	wire := size + units.ByteSize(npkt)*packet.HeaderBytes
+	t := units.TxTime(wire, rate) // message serialization at the first hop
+	// Remaining hops add pipeline latency of the last packet plus
+	// propagation on every link.
+	t += units.Time(hops-1) * units.TxTime(lastPkt+packet.HeaderBytes, rate)
+	t += units.Time(hops) * delay
+	return t
+}
+
+// FixedRate is a RateController that ignores all feedback and paces at a
+// constant rate — used for the paper's constant-rate flows (F0, F2) and
+// for sub-BDP bursts that end-to-end congestion control cannot regulate.
+type FixedRate units.Rate
+
+// CurrentRate implements RateController.
+func (r FixedRate) CurrentRate() units.Rate { return units.Rate(r) }
+
+// OnNotify implements RateController.
+func (FixedRate) OnNotify(units.Time, bool, bool) {}
+
+// OnAck implements RateController.
+func (FixedRate) OnAck(units.Time, units.Time, bool, bool) {}

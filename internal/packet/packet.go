@@ -1,0 +1,149 @@
+// Package packet defines the unit of data moved by the fabric: packets,
+// their kinds (data, acknowledgement, congestion notification), and the
+// TCD congestion code points from Table 1 of the paper.
+package packet
+
+import (
+	"fmt"
+
+	"github.com/tcdnet/tcd/internal/units"
+)
+
+// CodePoint is the 2-bit ternary congestion notification field carried by
+// every TCD-capable packet (Table 1 of the paper). It generalizes the ECN
+// field: switches upgrade the code point as the packet traverses ports in
+// undetermined or congestion states.
+type CodePoint uint8
+
+const (
+	// NotCapable marks transports that do not understand TCD (code 00).
+	NotCapable CodePoint = 0
+	// Capable marks a TCD-capable transport with no event yet (code 01).
+	Capable CodePoint = 1
+	// UE — Undetermined Encountered (code 10): the packet passed through
+	// at least one port in the undetermined state and no congestion port.
+	UE CodePoint = 2
+	// CE — Congestion Encountered (code 11): the packet passed through a
+	// port in the congestion state. CE is sticky: UE never downgrades it.
+	CE CodePoint = 3
+)
+
+// String renders the code point as in Table 1.
+func (c CodePoint) String() string {
+	switch c {
+	case NotCapable:
+		return "00(non-TCD)"
+	case Capable:
+		return "01(capable)"
+	case UE:
+		return "10(UE)"
+	case CE:
+		return "11(CE)"
+	}
+	return fmt.Sprintf("CodePoint(%d)", uint8(c))
+}
+
+// MarkUE applies the paper's rule "UE can only be marked when the current
+// code point is not CE" and returns the updated code point.
+func (c CodePoint) MarkUE() CodePoint {
+	if c == CE || c == NotCapable {
+		return c
+	}
+	return UE
+}
+
+// MarkCE applies the rule "switches mark CE whenever the port is in a
+// congestion state" and returns the updated code point.
+func (c CodePoint) MarkCE() CodePoint {
+	if c == NotCapable {
+		return c
+	}
+	return CE
+}
+
+// Kind distinguishes the packet populations in the simulator. Hop-by-hop
+// flow-control frames (PAUSE/RESUME/FCCL) are not packets: they travel on
+// the fabric's out-of-band control channel.
+type Kind uint8
+
+const (
+	// Data carries flow payload.
+	Data Kind = iota
+	// Ack is a receiver acknowledgement (used by TIMELY for RTT samples
+	// and by all transports to complete messages).
+	Ack
+	// CNP is a congestion notification packet from the notification point
+	// back to the reaction point (DCQCN CNP / InfiniBand BECN carrier).
+	CNP
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Data:
+		return "data"
+	case Ack:
+		return "ack"
+	case CNP:
+		return "cnp"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// FlowID identifies a flow (a message in flight between two hosts).
+type FlowID int32
+
+// NodeID identifies a host or switch in the topology.
+type NodeID int32
+
+// Packet is a frame in flight. Packets are allocated once at the sender
+// and mutated in place as they traverse the fabric (code point upgrades,
+// input-port bookkeeping), mirroring how a real frame carries its header
+// fields through the network.
+type Packet struct {
+	// Flow is the owning flow; CNPs and ACKs carry the flow they concern.
+	Flow FlowID
+	// Src and Dst are the endpoints.
+	Src, Dst NodeID
+	// Kind is the packet population.
+	Kind Kind
+	// Size is the wire size in bytes, headers included.
+	Size units.ByteSize
+	// Payload is the number of flow-payload bytes (Size minus headers).
+	Payload units.ByteSize
+	// Seq is the zero-based index of this packet within its flow.
+	Seq int32
+	// Last marks the final data packet of the flow's message.
+	Last bool
+	// Priority is the PFC priority / InfiniBand virtual lane.
+	Priority uint8
+	// Code is the TCD/ECN congestion code point, updated by switches.
+	Code CodePoint
+	// EchoUE and EchoCE are set on CNP/ACK packets to carry the receiver's
+	// observation back to the sender (the paper's ternary notification).
+	EchoUE, EchoCE bool
+	// SentAt is the timestamp the sender's NIC released the packet; ACKs
+	// echo it back so TIMELY can compute RTTs without a clock exchange.
+	SentAt units.Time
+	// InPort tracks, inside a switch, which input port the packet arrived
+	// on so ingress accounting can be released on departure. It is
+	// meaningless outside the switch that set it; hosts inject with -1.
+	InPort int32
+	// Hops counts switch traversals (routing-loop guard).
+	Hops int8
+}
+
+// String renders a compact description for traces and test failures.
+func (p *Packet) String() string {
+	return fmt.Sprintf("%s flow=%d seq=%d %v %s", p.Kind, p.Flow, p.Seq, p.Size, p.Code)
+}
+
+// HeaderBytes is the per-packet header overhead (Ethernet+IP+UDP+RoCE, or
+// the IB transport headers — both are ~48 B at the fidelity this simulator
+// needs).
+const HeaderBytes units.ByteSize = 48
+
+// AckBytes is the wire size of an acknowledgement.
+const AckBytes units.ByteSize = 64
+
+// CNPBytes is the wire size of a congestion notification packet.
+const CNPBytes units.ByteSize = 64

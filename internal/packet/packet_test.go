@@ -1,0 +1,96 @@
+package packet
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Table 1 semantics: UE can only be marked when the code point is not CE;
+// CE is marked whenever a congestion port is traversed.
+func TestMarkingRules(t *testing.T) {
+	cases := []struct {
+		name string
+		in   CodePoint
+		op   func(CodePoint) CodePoint
+		want CodePoint
+	}{
+		{"capable+UE", Capable, CodePoint.MarkUE, UE},
+		{"UE+UE", UE, CodePoint.MarkUE, UE},
+		{"CE+UE keeps CE", CE, CodePoint.MarkUE, CE},
+		{"capable+CE", Capable, CodePoint.MarkCE, CE},
+		{"UE+CE upgrades", UE, CodePoint.MarkCE, CE},
+		{"CE+CE", CE, CodePoint.MarkCE, CE},
+		{"non-capable never marked UE", NotCapable, CodePoint.MarkUE, NotCapable},
+		{"non-capable never marked CE", NotCapable, CodePoint.MarkCE, NotCapable},
+	}
+	for _, c := range cases {
+		if got := c.op(c.in); got != c.want {
+			t.Errorf("%s: got %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+// Property: the paper's path rule — "if a packet first passes through an
+// undetermined port, then a congestion port, this packet should be
+// considered as experiencing congestion". Any sequence of marks containing
+// at least one CE must end CE; a sequence with only UE marks ends UE.
+func TestPathMarkingProperty(t *testing.T) {
+	f := func(ops []bool) bool {
+		c := Capable
+		sawCE := false
+		for _, isCE := range ops {
+			if isCE {
+				c = c.MarkCE()
+				sawCE = true
+			} else {
+				c = c.MarkUE()
+			}
+		}
+		switch {
+		case sawCE:
+			return c == CE
+		case len(ops) > 0:
+			return c == UE
+		default:
+			return c == Capable
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCodePointStrings(t *testing.T) {
+	want := map[CodePoint]string{
+		NotCapable: "00(non-TCD)",
+		Capable:    "01(capable)",
+		UE:         "10(UE)",
+		CE:         "11(CE)",
+	}
+	for cp, s := range want {
+		if cp.String() != s {
+			t.Errorf("%d.String() = %q, want %q", cp, cp.String(), s)
+		}
+	}
+	if CodePoint(9).String() != "CodePoint(9)" {
+		t.Errorf("unknown code point string = %q", CodePoint(9).String())
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	if Data.String() != "data" || Ack.String() != "ack" || CNP.String() != "cnp" {
+		t.Error("Kind strings wrong")
+	}
+	if Kind(9).String() != "Kind(9)" {
+		t.Error("unknown kind string wrong")
+	}
+}
+
+func TestPacketString(t *testing.T) {
+	p := &Packet{Flow: 7, Kind: Data, Seq: 3, Size: 1048, Code: UE}
+	got := p.String()
+	want := "data flow=7 seq=3 1.048KB 10(UE)"
+	if got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,154 @@
+// Package routing computes forwarding tables over a topology and adapts
+// them to the fabric: static shortest-path, per-flow ECMP hashing, and the
+// deterministic D-mod-k scheme the paper uses for InfiniBand fat-trees.
+package routing
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/tcdnet/tcd/internal/fabric"
+	"github.com/tcdnet/tcd/internal/packet"
+	"github.com/tcdnet/tcd/internal/topo"
+)
+
+// Table holds, for every (node, destination host) pair, the sorted set of
+// equal-cost next-hop links.
+type Table struct {
+	topo *topo.Topology
+	// hostIdx maps a host NodeID to a dense index.
+	hostIdx map[packet.NodeID]int
+	hosts   []packet.NodeID
+	// next[node][hostIdx] = equal-cost link indices, ascending.
+	next [][][]int32
+}
+
+// BuildShortestPath computes equal-cost shortest-path sets with a reverse
+// BFS from every host.
+func BuildShortestPath(t *topo.Topology) *Table {
+	tb := &Table{topo: t, hostIdx: make(map[packet.NodeID]int)}
+	for _, h := range t.Hosts() {
+		tb.hostIdx[h] = len(tb.hosts)
+		tb.hosts = append(tb.hosts, h)
+	}
+	nNodes := len(t.Nodes)
+	nHosts := len(tb.hosts)
+	tb.next = make([][][]int32, nNodes)
+	for i := range tb.next {
+		tb.next[i] = make([][]int32, nHosts)
+	}
+	dist := make([]int32, nNodes)
+	queue := make([]packet.NodeID, 0, nNodes)
+	for hi, h := range tb.hosts {
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[h] = 0
+		queue = queue[:0]
+		queue = append(queue, h)
+		for qi := 0; qi < len(queue); qi++ {
+			cur := queue[qi]
+			for _, ad := range t.Adj(cur) {
+				if dist[ad.Peer] == -1 {
+					dist[ad.Peer] = dist[cur] + 1
+					queue = append(queue, ad.Peer)
+				}
+			}
+		}
+		for _, n := range t.Nodes {
+			if n.ID == h || dist[n.ID] == -1 {
+				continue
+			}
+			var choices []int32
+			for _, ad := range t.Adj(n.ID) {
+				if dist[ad.Peer] == dist[n.ID]-1 {
+					choices = append(choices, int32(ad.Link))
+				}
+			}
+			sort.Slice(choices, func(i, j int) bool { return choices[i] < choices[j] })
+			tb.next[n.ID][hi] = choices
+		}
+	}
+	return tb
+}
+
+// Choices returns the equal-cost next-hop links from node toward dst.
+func (tb *Table) Choices(node, dst packet.NodeID) []int32 {
+	hi, ok := tb.hostIdx[dst]
+	if !ok {
+		panic(fmt.Sprintf("routing: destination %s is not a host", tb.topo.Name(dst)))
+	}
+	return tb.next[node][hi]
+}
+
+// PathLen returns the hop count (number of links) from src host to dst
+// host along shortest paths.
+func (tb *Table) PathLen(src, dst packet.NodeID) int {
+	if src == dst {
+		return 0
+	}
+	hops := 0
+	cur := src
+	for cur != dst {
+		ch := tb.Choices(cur, dst)
+		if len(ch) == 0 {
+			panic("routing: no path")
+		}
+		l := tb.topo.Links[ch[0]]
+		if l.A == cur {
+			cur = l.B
+		} else {
+			cur = l.A
+		}
+		hops++
+		if hops > 64 {
+			panic("routing: path too long")
+		}
+	}
+	return hops
+}
+
+// Selector picks one link among equal-cost choices for a packet.
+type Selector func(pkt *packet.Packet, choices []int32) int32
+
+// FirstPath always picks the lowest-indexed link (single-path routing).
+func FirstPath() Selector {
+	return func(_ *packet.Packet, choices []int32) int32 { return choices[0] }
+}
+
+// ECMP hashes the flow ID (salted) so each flow pins one path; this is
+// the standard CEE load-balancing the paper's Fig 16 network uses.
+func ECMP(salt uint64) Selector {
+	return func(pkt *packet.Packet, choices []int32) int32 {
+		h := uint64(pkt.Flow)*0x9e3779b97f4a7c15 ^ salt
+		h ^= h >> 29
+		h *= 0xbf58476d1ce4e5b9
+		h ^= h >> 32
+		return choices[h%uint64(len(choices))]
+	}
+}
+
+// DModK selects the path by destination modulo the fan-out — the static
+// deterministic scheme (Gomez et al.) the paper uses for the InfiniBand
+// fat-tree. All traffic toward one destination shares the same up-path,
+// concentrating congestion trees the way the paper's Fig 17 expects.
+func DModK() Selector {
+	return func(pkt *packet.Packet, choices []int32) int32 {
+		return choices[uint32(pkt.Dst)%uint32(len(choices))]
+	}
+}
+
+// Attach installs the table on a fabric network with the given selector.
+func (tb *Table) Attach(n *fabric.Network, sel Selector) {
+	n.Route = func(sw packet.NodeID, pkt *packet.Packet) *fabric.Port {
+		choices := tb.Choices(sw, pkt.Dst)
+		if len(choices) == 0 {
+			return nil
+		}
+		link := choices[0]
+		if len(choices) > 1 {
+			link = sel(pkt, choices)
+		}
+		return n.PortOn(sw, int(link))
+	}
+}

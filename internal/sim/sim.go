@@ -1,0 +1,156 @@
+// Package sim provides a deterministic discrete-event scheduler.
+//
+// All simulator components share one Scheduler. Events scheduled for the
+// same instant fire in the order they were scheduled (FIFO tie-breaking via
+// a monotonically increasing sequence number), which makes every run
+// reproducible regardless of map iteration order or GC timing.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"github.com/tcdnet/tcd/internal/units"
+)
+
+// Event is a scheduled callback. Keeping the callback as a closure keeps
+// call sites simple; the scheduler is single-threaded so no locking is
+// needed anywhere in the simulator.
+type event struct {
+	at  units.Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Scheduler is a discrete-event executor. The zero value is not usable;
+// call New.
+type Scheduler struct {
+	now    units.Time
+	seq    uint64
+	events eventHeap
+	// processed counts executed events, for instrumentation.
+	processed uint64
+	stopped   bool
+}
+
+// New returns an empty scheduler at time zero.
+func New() *Scheduler {
+	return &Scheduler{}
+}
+
+// Now reports the current simulated time.
+func (s *Scheduler) Now() units.Time { return s.now }
+
+// Processed reports how many events have been executed so far.
+func (s *Scheduler) Processed() uint64 { return s.processed }
+
+// At schedules fn to run at absolute time t. Scheduling in the past is a
+// programming error and panics, because it would silently reorder causality.
+func (s *Scheduler) At(t units.Time, fn func()) {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
+	}
+	s.seq++
+	heap.Push(&s.events, &event{at: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn to run d after the current time.
+func (s *Scheduler) After(d units.Time, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	s.At(s.now+d, fn)
+}
+
+// Stop makes Run/RunUntil return after the current event completes.
+func (s *Scheduler) Stop() { s.stopped = true }
+
+// Pending reports the number of queued events.
+func (s *Scheduler) Pending() int { return len(s.events) }
+
+// Run executes events until the queue is empty or Stop is called.
+func (s *Scheduler) Run() {
+	s.RunUntil(units.Forever)
+}
+
+// RunUntil executes events with timestamps <= deadline, advancing the clock.
+// Events scheduled beyond the deadline remain queued; the clock is left at
+// the deadline (or at the last event if the queue drained first).
+func (s *Scheduler) RunUntil(deadline units.Time) {
+	s.stopped = false
+	for len(s.events) > 0 && !s.stopped {
+		next := s.events[0]
+		if next.at > deadline {
+			s.now = deadline
+			return
+		}
+		heap.Pop(&s.events)
+		s.now = next.at
+		s.processed++
+		next.fn()
+	}
+	if deadline != units.Forever && s.now < deadline {
+		s.now = deadline
+	}
+}
+
+// Timer is a cancellable, re-armable timer built on the scheduler. It is
+// used for periodic credit updates, CNP generation windows, rate-increase
+// timers and similar protocol machinery.
+type Timer struct {
+	s       *Scheduler
+	fn      func()
+	armedAt units.Time // fire time of the live arm; Never when idle
+	gen     uint64     // invalidates stale scheduled closures
+}
+
+// NewTimer returns an unarmed timer that runs fn when it fires.
+func NewTimer(s *Scheduler, fn func()) *Timer {
+	return &Timer{s: s, fn: fn, armedAt: units.Never}
+}
+
+// Arm (re)schedules the timer to fire d from now, replacing any pending arm.
+func (t *Timer) Arm(d units.Time) {
+	t.gen++
+	gen := t.gen
+	t.armedAt = t.s.Now() + d
+	t.s.After(d, func() {
+		if t.gen != gen {
+			return // cancelled or re-armed
+		}
+		t.armedAt = units.Never
+		t.fn()
+	})
+}
+
+// Cancel disarms the timer if armed.
+func (t *Timer) Cancel() {
+	t.gen++
+	t.armedAt = units.Never
+}
+
+// Armed reports whether the timer has a pending fire.
+func (t *Timer) Armed() bool { return t.armedAt != units.Never }
+
+// FireAt reports when the timer will fire (Never if unarmed).
+func (t *Timer) FireAt() units.Time { return t.armedAt }

@@ -1,0 +1,217 @@
+package sim
+
+import (
+	"testing"
+
+	"github.com/tcdnet/tcd/internal/units"
+)
+
+func TestRunsInTimeOrder(t *testing.T) {
+	s := New()
+	var order []int
+	s.At(30, func() { order = append(order, 3) })
+	s.At(10, func() { order = append(order, 1) })
+	s.At(20, func() { order = append(order, 2) })
+	s.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v, want [1 2 3]", order)
+	}
+	if s.Now() != 30 {
+		t.Errorf("Now() = %v, want 30", s.Now())
+	}
+	if s.Processed() != 3 {
+		t.Errorf("Processed() = %d, want 3", s.Processed())
+	}
+}
+
+func TestFIFOTieBreak(t *testing.T) {
+	s := New()
+	var order []int
+	for i := 0; i < 100; i++ {
+		i := i
+		s.At(5, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie-break violated at index %d: got %d", i, v)
+		}
+	}
+}
+
+func TestEventsCanScheduleEvents(t *testing.T) {
+	s := New()
+	var fired []units.Time
+	s.At(10, func() {
+		s.After(5, func() { fired = append(fired, s.Now()) })
+		s.At(12, func() { fired = append(fired, s.Now()) })
+	})
+	s.Run()
+	if len(fired) != 2 || fired[0] != 12 || fired[1] != 15 {
+		t.Fatalf("fired = %v, want [12 15]", fired)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	s := New()
+	s.At(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		s.At(5, func() {})
+	})
+	s.Run()
+}
+
+func TestAfterClampsNegative(t *testing.T) {
+	s := New()
+	ran := false
+	s.At(10, func() {
+		s.After(-5, func() { ran = true })
+	})
+	s.Run()
+	if !ran {
+		t.Error("After with negative delay did not run")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New()
+	var fired []units.Time
+	for _, tm := range []units.Time{5, 15, 25} {
+		tm := tm
+		s.At(tm, func() { fired = append(fired, tm) })
+	}
+	s.RunUntil(20)
+	if len(fired) != 2 {
+		t.Fatalf("fired %d events, want 2", len(fired))
+	}
+	if s.Now() != 20 {
+		t.Errorf("Now() = %v, want 20 (clock advances to deadline)", s.Now())
+	}
+	if s.Pending() != 1 {
+		t.Errorf("Pending() = %d, want 1", s.Pending())
+	}
+	s.RunUntil(30)
+	if len(fired) != 3 {
+		t.Errorf("remaining event did not fire after second RunUntil")
+	}
+}
+
+func TestStop(t *testing.T) {
+	s := New()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		s.At(units.Time(i), func() {
+			count++
+			if count == 3 {
+				s.Stop()
+			}
+		})
+	}
+	s.Run()
+	if count != 3 {
+		t.Errorf("ran %d events after Stop, want 3", count)
+	}
+	// Run resumes after a Stop.
+	s.Run()
+	if count != 10 {
+		t.Errorf("ran %d events total, want 10", count)
+	}
+}
+
+func TestTimerBasic(t *testing.T) {
+	s := New()
+	fired := 0
+	tm := NewTimer(s, func() { fired++ })
+	if tm.Armed() {
+		t.Error("new timer reports armed")
+	}
+	s.At(0, func() { tm.Arm(100) })
+	s.Run()
+	if fired != 1 {
+		t.Errorf("fired = %d, want 1", fired)
+	}
+	if tm.Armed() {
+		t.Error("timer reports armed after firing")
+	}
+}
+
+func TestTimerCancel(t *testing.T) {
+	s := New()
+	fired := 0
+	tm := NewTimer(s, func() { fired++ })
+	s.At(0, func() { tm.Arm(100) })
+	s.At(50, func() { tm.Cancel() })
+	s.Run()
+	if fired != 0 {
+		t.Errorf("cancelled timer fired %d times", fired)
+	}
+}
+
+func TestTimerRearmReplacesPending(t *testing.T) {
+	s := New()
+	var times []units.Time
+	tm := NewTimer(s, func() { times = append(times, s.Now()) })
+	s.At(0, func() { tm.Arm(100) })
+	s.At(50, func() { tm.Arm(100) }) // replaces: should fire once at 150
+	s.Run()
+	if len(times) != 1 || times[0] != 150 {
+		t.Errorf("times = %v, want [150]", times)
+	}
+}
+
+func TestTimerPeriodic(t *testing.T) {
+	s := New()
+	var times []units.Time
+	var tm *Timer
+	tm = NewTimer(s, func() {
+		times = append(times, s.Now())
+		if len(times) < 3 {
+			tm.Arm(10)
+		}
+	})
+	s.At(0, func() { tm.Arm(10) })
+	s.Run()
+	want := []units.Time{10, 20, 30}
+	if len(times) != 3 {
+		t.Fatalf("times = %v, want %v", times, want)
+	}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Fatalf("times = %v, want %v", times, want)
+		}
+	}
+}
+
+func TestTimerFireAt(t *testing.T) {
+	s := New()
+	tm := NewTimer(s, func() {})
+	s.At(5, func() {
+		tm.Arm(10)
+		if tm.FireAt() != 15 {
+			t.Errorf("FireAt = %v, want 15", tm.FireAt())
+		}
+	})
+	s.Run()
+	if tm.FireAt() != units.Never {
+		t.Errorf("FireAt after fire = %v, want Never", tm.FireAt())
+	}
+}
+
+func BenchmarkScheduler(b *testing.B) {
+	s := New()
+	var next func()
+	i := 0
+	next = func() {
+		i++
+		if i < b.N {
+			s.After(1, next)
+		}
+	}
+	s.At(0, next)
+	b.ResetTimer()
+	s.Run()
+}

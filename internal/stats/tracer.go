@@ -1,0 +1,78 @@
+package stats
+
+import (
+	"github.com/tcdnet/tcd/internal/sim"
+	"github.com/tcdnet/tcd/internal/units"
+)
+
+// Tracer samples registered probes at a fixed interval until a horizon,
+// building one Series per probe. Figures 3, 4, 12, 13 and 20 are made of
+// these series (queue length, sending rate, marking counters).
+type Tracer struct {
+	sched    *sim.Scheduler
+	interval units.Time
+	horizon  units.Time
+	probes   []func() float64
+	series   []*Series
+	started  bool
+}
+
+// NewTracer builds a tracer sampling every interval until horizon.
+func NewTracer(s *sim.Scheduler, interval, horizon units.Time) *Tracer {
+	return &Tracer{sched: s, interval: interval, horizon: horizon}
+}
+
+// Add registers a probe and returns its series.
+func (t *Tracer) Add(name string, probe func() float64) *Series {
+	s := &Series{Name: name}
+	t.probes = append(t.probes, probe)
+	t.series = append(t.series, s)
+	return s
+}
+
+// Start schedules the sampling loop (call after registering probes).
+func (t *Tracer) Start() {
+	if t.started {
+		return
+	}
+	t.started = true
+	var tick func()
+	tick = func() {
+		now := t.sched.Now()
+		for i, p := range t.probes {
+			t.series[i].T = append(t.series[i].T, now)
+			t.series[i].V = append(t.series[i].V, p())
+		}
+		if now+t.interval <= t.horizon {
+			t.sched.After(t.interval, tick)
+		}
+	}
+	t.sched.At(t.sched.Now(), tick)
+}
+
+// Series returns all collected series in registration order.
+func (t *Tracer) Series() []*Series { return t.series }
+
+// RateProbe converts a cumulative byte counter into a rate (bits/s)
+// sampled per interval — used for the "sending rate of port P2" panels.
+func RateProbe(counter func() units.ByteSize, interval units.Time) func() float64 {
+	last := counter()
+	return func() float64 {
+		cur := counter()
+		delta := cur - last
+		last = cur
+		return float64(units.RateOf(delta, interval))
+	}
+}
+
+// DeltaProbe converts a cumulative count into a per-interval increment —
+// used for "marked packets per sample" panels.
+func DeltaProbe(counter func() uint64) func() float64 {
+	last := counter()
+	return func() float64 {
+		cur := counter()
+		delta := cur - last
+		last = cur
+		return float64(delta)
+	}
+}

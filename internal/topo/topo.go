@@ -1,0 +1,188 @@
+// Package topo describes network topologies: nodes (hosts and switches)
+// and the links between them. Builders for the paper's topologies live in
+// builders.go; routing tables over a Topology are computed by package
+// routing.
+package topo
+
+import (
+	"fmt"
+
+	"github.com/tcdnet/tcd/internal/packet"
+	"github.com/tcdnet/tcd/internal/units"
+)
+
+// NodeKind distinguishes hosts (traffic endpoints) from switches.
+type NodeKind uint8
+
+const (
+	// Host is a traffic endpoint with a single NIC.
+	Host NodeKind = iota
+	// Switch forwards packets between its ports.
+	Switch
+)
+
+func (k NodeKind) String() string {
+	if k == Host {
+		return "host"
+	}
+	return "switch"
+}
+
+// Node is a vertex in the topology.
+type Node struct {
+	ID   packet.NodeID
+	Name string
+	Kind NodeKind
+}
+
+// Link is a full-duplex edge between two nodes. Rate and Delay apply to
+// each direction independently.
+type Link struct {
+	A, B  packet.NodeID
+	Rate  units.Rate
+	Delay units.Time
+}
+
+// Topology is an undirected multigraph of nodes and links. The zero value
+// is empty and ready to use via the Add methods.
+type Topology struct {
+	Nodes  []Node
+	Links  []Link
+	byName map[string]packet.NodeID
+	// adj[node] lists (link index, peer) pairs.
+	adj [][]Adjacency
+}
+
+// Adjacency is one incident link of a node.
+type Adjacency struct {
+	Link int
+	Peer packet.NodeID
+}
+
+// New returns an empty topology.
+func New() *Topology {
+	return &Topology{byName: make(map[string]packet.NodeID)}
+}
+
+func (t *Topology) add(name string, kind NodeKind) packet.NodeID {
+	if _, dup := t.byName[name]; dup {
+		panic(fmt.Sprintf("topo: duplicate node name %q", name))
+	}
+	id := packet.NodeID(len(t.Nodes))
+	t.Nodes = append(t.Nodes, Node{ID: id, Name: name, Kind: kind})
+	t.byName[name] = id
+	t.adj = append(t.adj, nil)
+	return id
+}
+
+// AddHost adds a host node and returns its ID.
+func (t *Topology) AddHost(name string) packet.NodeID { return t.add(name, Host) }
+
+// AddSwitch adds a switch node and returns its ID.
+func (t *Topology) AddSwitch(name string) packet.NodeID { return t.add(name, Switch) }
+
+// Connect adds a full-duplex link between a and b and returns its index.
+func (t *Topology) Connect(a, b packet.NodeID, rate units.Rate, delay units.Time) int {
+	if int(a) >= len(t.Nodes) || int(b) >= len(t.Nodes) || a < 0 || b < 0 {
+		panic("topo: Connect with unknown node")
+	}
+	if a == b {
+		panic("topo: self-link")
+	}
+	if rate <= 0 {
+		panic("topo: non-positive link rate")
+	}
+	idx := len(t.Links)
+	t.Links = append(t.Links, Link{A: a, B: b, Rate: rate, Delay: delay})
+	t.adj[a] = append(t.adj[a], Adjacency{Link: idx, Peer: b})
+	t.adj[b] = append(t.adj[b], Adjacency{Link: idx, Peer: a})
+	return idx
+}
+
+// ID returns the node ID for a name, panicking if absent (topology wiring
+// errors are programming errors).
+func (t *Topology) ID(name string) packet.NodeID {
+	id, ok := t.byName[name]
+	if !ok {
+		panic(fmt.Sprintf("topo: unknown node %q", name))
+	}
+	return id
+}
+
+// Lookup returns the node ID for a name and whether it exists.
+func (t *Topology) Lookup(name string) (packet.NodeID, bool) {
+	id, ok := t.byName[name]
+	return id, ok
+}
+
+// Name returns the name of a node.
+func (t *Topology) Name(id packet.NodeID) string { return t.Nodes[id].Name }
+
+// Adj returns the adjacency list of a node.
+func (t *Topology) Adj(id packet.NodeID) []Adjacency { return t.adj[id] }
+
+// Hosts returns the IDs of all host nodes in insertion order.
+func (t *Topology) Hosts() []packet.NodeID {
+	var out []packet.NodeID
+	for _, n := range t.Nodes {
+		if n.Kind == Host {
+			out = append(out, n.ID)
+		}
+	}
+	return out
+}
+
+// Switches returns the IDs of all switch nodes in insertion order.
+func (t *Topology) Switches() []packet.NodeID {
+	var out []packet.NodeID
+	for _, n := range t.Nodes {
+		if n.Kind == Switch {
+			out = append(out, n.ID)
+		}
+	}
+	return out
+}
+
+// LinkBetween returns the index of a link between a and b, or -1.
+func (t *Topology) LinkBetween(a, b packet.NodeID) int {
+	for _, ad := range t.adj[a] {
+		if ad.Peer == b {
+			return ad.Link
+		}
+	}
+	return -1
+}
+
+// Validate checks structural invariants: hosts have exactly one link and
+// the graph is connected. It returns an error describing the first
+// violation found.
+func (t *Topology) Validate() error {
+	if len(t.Nodes) == 0 {
+		return fmt.Errorf("topology has no nodes")
+	}
+	for _, n := range t.Nodes {
+		if n.Kind == Host && len(t.adj[n.ID]) != 1 {
+			return fmt.Errorf("host %s has %d links, want 1", n.Name, len(t.adj[n.ID]))
+		}
+	}
+	// Connectivity via BFS.
+	seen := make([]bool, len(t.Nodes))
+	queue := []packet.NodeID{0}
+	seen[0] = true
+	count := 1
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, ad := range t.adj[cur] {
+			if !seen[ad.Peer] {
+				seen[ad.Peer] = true
+				count++
+				queue = append(queue, ad.Peer)
+			}
+		}
+	}
+	if count != len(t.Nodes) {
+		return fmt.Errorf("topology is disconnected: reached %d of %d nodes", count, len(t.Nodes))
+	}
+	return nil
+}

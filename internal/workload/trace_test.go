@@ -1,0 +1,78 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/tcdnet/tcd/internal/rng"
+	"github.com/tcdnet/tcd/internal/units"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	r := rng.New(5)
+	orig := Poisson(r, PoissonConfig{
+		Hosts:      hostIDs(8),
+		CDF:        Hadoop(),
+		Load:       0.4,
+		AccessRate: 40 * units.Gbps,
+		Horizon:    5 * units.Millisecond,
+		MaxFlows:   200,
+	})
+	var sb strings.Builder
+	if err := WriteTrace(&sb, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTrace(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(orig) {
+		t.Fatalf("round trip length %d != %d", len(back), len(orig))
+	}
+	for i := range orig {
+		if back[i].Src != orig[i].Src || back[i].Dst != orig[i].Dst || back[i].Size != orig[i].Size {
+			t.Fatalf("flow %d mismatch: %+v vs %+v", i, back[i], orig[i])
+		}
+		// Start times survive to sub-microsecond resolution.
+		d := back[i].Start - orig[i].Start
+		if d < -units.Nanosecond || d > units.Nanosecond {
+			t.Fatalf("flow %d start drifted %v", i, d)
+		}
+	}
+}
+
+func TestTraceCommentsAndBlanks(t *testing.T) {
+	in := `src,dst,bytes,start_us
+# a comment
+0,1,1000,0.000
+
+2,3,64000,125.500
+`
+	flows, err := ReadTrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flows) != 2 {
+		t.Fatalf("flows = %d, want 2", len(flows))
+	}
+	if flows[1].Size != 64*units.KB || flows[1].Start != 125500*units.Nanosecond {
+		t.Errorf("parsed %+v", flows[1])
+	}
+}
+
+func TestTraceErrors(t *testing.T) {
+	bad := []string{
+		"0,1,1000",            // missing field
+		"x,1,1000,0",          // bad src
+		"0,y,1000,0",          // bad dst
+		"0,1,zz,0",            // bad size
+		"0,1,0,0",             // zero size
+		"0,1,1000,notanumber", // bad start
+		"0,1,1000,-5",         // negative start
+	}
+	for _, line := range bad {
+		if _, err := ReadTrace(strings.NewReader(line + "\n")); err == nil {
+			t.Errorf("line %q accepted", line)
+		}
+	}
+}

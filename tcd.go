@@ -1,0 +1,82 @@
+// Package tcd is the public facade of the Ternary Congestion Detection
+// library — a from-scratch Go reproduction of "Congestion Detection in
+// Lossless Networks" (SIGCOMM 2021).
+//
+// The paper's contribution is re-exported here: the ternary port states,
+// the TCD detector state machine, and the analytic ON-OFF model that
+// parameterizes it. The full simulation stack the evaluation runs on
+// (event scheduler, CEE/PFC and InfiniBand/CBFC fabrics, DCQCN, TIMELY
+// and IB CC rate control, topologies, workloads and the per-figure
+// experiment harness) lives under internal/; see DESIGN.md for the map
+// and cmd/tcdsim for the experiment runner.
+//
+// Minimal use — detect ternary states on a switch egress port:
+//
+//	params := tcd.CEEParams(1000, 40*units.Gbps, units.Microsecond)
+//	det := tcd.New(tcd.Config{
+//		MaxTon:     tcd.MaxTonCEE(params, tcd.RecommendedEps),
+//		CongThresh: 200 * units.KB,
+//		LowThresh:  10 * units.KB,
+//	})
+//	// per dequeued packet: det.OnDequeue(now, pkt, queueLen)
+//	// when an OFF period ends: det.OnOffEnd(now)
+package tcd
+
+import (
+	"github.com/tcdnet/tcd/internal/core"
+	"github.com/tcdnet/tcd/internal/packet"
+	"github.com/tcdnet/tcd/internal/units"
+)
+
+// Detector is the TCD ternary state machine of one (port, priority).
+type Detector = core.TCD
+
+// Config parameterizes a Detector.
+type Config = core.TCDConfig
+
+// State is a ternary port state.
+type State = core.State
+
+// Ternary states (§3.2.1 of the paper).
+const (
+	NonCongestion = core.NonCongestion
+	Congestion    = core.Congestion
+	Undetermined  = core.Undetermined
+)
+
+// CodePoint is the two-bit ternary congestion notification field
+// (Table 1 of the paper).
+type CodePoint = packet.CodePoint
+
+// Code points.
+const (
+	NotCapable = packet.NotCapable
+	Capable    = packet.Capable
+	UE         = packet.UE
+	CE         = packet.CE
+)
+
+// ModelParams are the conceptual ON-OFF model inputs (Table 2).
+type ModelParams = core.ModelParams
+
+// RecommendedEps is the paper's recommended congestion degree (0.05).
+const RecommendedEps = core.RecommendedEps
+
+// New builds a detector; see core.NewTCD.
+func New(cfg Config) *Detector { return core.NewTCD(cfg) }
+
+// CEEParams derives the ON-OFF model parameters of a PFC deployment.
+func CEEParams(mtu units.ByteSize, c units.Rate, tp units.Time) ModelParams {
+	return core.CEEParams(mtu, c, tp)
+}
+
+// MaxTonCEE evaluates Eqn (3): the ON-period bound under PFC.
+func MaxTonCEE(p ModelParams, eps float64) units.Time { return core.MaxTonCEE(p, eps) }
+
+// MaxTonIB is the InfiniBand bound: the CBFC credit update period.
+func MaxTonIB(tc units.Time) units.Time { return core.MaxTonIB(tc) }
+
+// PFCResponseTime is tau = 2*MTU/C + 2*t_p (§4.3).
+func PFCResponseTime(mtu units.ByteSize, c units.Rate, tp units.Time) units.Time {
+	return core.PFCResponseTime(mtu, c, tp)
+}
