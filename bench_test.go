@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	"github.com/tcdnet/tcd/internal/exp"
+	"github.com/tcdnet/tcd/internal/obs"
 	"github.com/tcdnet/tcd/internal/units"
 )
 
@@ -282,4 +283,27 @@ func BenchmarkMultiPriority(b *testing.B) {
 	}
 	b.ReportMetric(res.Scalars["victim_ce"], "victim-CE")
 	b.ReportMetric(res.Scalars["victim_ue"], "victim-UE")
+}
+
+// Observability overhead: the same fig3-scale run with tracing disabled
+// (nil Recorder — the default for every experiment) versus recording into
+// a ring. The disabled path must stay negligible: emission sites are
+// nil-guarded interface fields and obs.Event is a flat value struct.
+func BenchmarkObsOverhead(b *testing.B) {
+	run := func(b *testing.B, oc obs.Config) {
+		for i := 0; i < b.N; i++ {
+			cfg := exp.DefaultObserveConfig(exp.CEE, exp.DetTCD, false)
+			cfg.Horizon = 5 * units.Millisecond
+			cfg.BurstRounds = 10
+			cfg.Seed = benchSeed
+			cfg.Obs = oc
+			exp.Observe(cfg)
+		}
+	}
+	b.Run("disabled", func(b *testing.B) { run(b, obs.Config{}) })
+	b.Run("ring", func(b *testing.B) {
+		ring := obs.NewRing(0)
+		run(b, obs.Config{Rec: ring})
+		b.ReportMetric(float64(ring.Len()), "events-buffered")
+	})
 }

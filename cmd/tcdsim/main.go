@@ -17,6 +17,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
@@ -24,6 +25,7 @@ import (
 
 	"github.com/tcdnet/tcd/internal/exp"
 	"github.com/tcdnet/tcd/internal/fabric"
+	"github.com/tcdnet/tcd/internal/obs"
 	"github.com/tcdnet/tcd/internal/units"
 )
 
@@ -38,6 +40,15 @@ type options struct {
 	series   string
 	voq      bool
 	runs     int
+	obs      obs.Config
+}
+
+// progressObs strips the trace/metrics sinks, keeping only progress
+// reporting. Comparison experiments run several simulations back to back;
+// funneling them into one ring or registry would interleave events from
+// different runs, so those experiments get progress only.
+func (o options) progressObs() obs.Config {
+	return obs.Config{ProgressEvery: o.obs.ProgressEvery, ProgressOut: o.obs.ProgressOut}
 }
 
 type runner struct {
@@ -51,6 +62,7 @@ func runners() []runner {
 		{"fig3", "single congestion point, baseline detectors (ECN/FECN)", func(o options) []*exp.Result {
 			cfg := exp.DefaultObserveConfig(o.fabric, exp.DetBaseline, false)
 			cfg.Seed = o.seed
+			cfg.Obs = o.obs
 			applyArch(&cfg, o)
 			applyHorizon(&cfg.Horizon, o)
 			return []*exp.Result{exp.Observe(cfg)}
@@ -58,6 +70,7 @@ func runners() []runner {
 		{"fig4", "multiple congestion points, baseline detectors", func(o options) []*exp.Result {
 			cfg := exp.DefaultObserveConfig(o.fabric, exp.DetBaseline, true)
 			cfg.Seed = o.seed
+			cfg.Obs = o.obs
 			applyArch(&cfg, o)
 			applyHorizon(&cfg.Horizon, o)
 			return []*exp.Result{exp.Observe(cfg)}
@@ -78,6 +91,7 @@ func runners() []runner {
 		{"fig12", "single congestion point with TCD (und -> non-congestion)", func(o options) []*exp.Result {
 			cfg := exp.DefaultObserveConfig(o.fabric, exp.DetTCD, false)
 			cfg.Seed = o.seed
+			cfg.Obs = o.obs
 			applyArch(&cfg, o)
 			applyHorizon(&cfg.Horizon, o)
 			return []*exp.Result{exp.Observe(cfg)}
@@ -85,6 +99,7 @@ func runners() []runner {
 		{"fig13", "multiple congestion points with TCD (und -> congestion)", func(o options) []*exp.Result {
 			cfg := exp.DefaultObserveConfig(o.fabric, exp.DetTCD, true)
 			cfg.Seed = o.seed
+			cfg.Obs = o.obs
 			applyArch(&cfg, o)
 			applyHorizon(&cfg.Horizon, o)
 			return []*exp.Result{exp.Observe(cfg)}
@@ -145,6 +160,7 @@ func runners() []runner {
 		}},
 		{"fig16", "fat-tree FCT slowdown: DCQCN vs DCQCN+TCD", func(o options) []*exp.Result {
 			base := exp.DefaultFatTreeConfig(exp.CEE, exp.DetBaseline, exp.CCDCQCN, o.workload)
+			base.Obs = o.progressObs()
 			tuneFatTree(&base, o, 10, 40000)
 			res, _, _ := exp.FatTreeComparison(base, exp.CCDCQCN, exp.CCDCQCNTCD)
 			return []*exp.Result{res}
@@ -156,6 +172,7 @@ func runners() []runner {
 			}
 			r1, _, _ := exp.VictimFCT(exp.IB, exp.CCIBCC, exp.CCIBCCTCD, h, o.seed)
 			base := exp.DefaultFatTreeConfig(exp.IB, exp.DetBaseline, exp.CCIBCC, "mpiio")
+			base.Obs = o.progressObs()
 			tuneFatTree(&base, o, 16, 80000)
 			r2, _, _ := exp.FatTreeComparison(base, exp.CCIBCC, exp.CCIBCCTCD)
 			return []*exp.Result{r1, r2}
@@ -172,6 +189,7 @@ func runners() []runner {
 		}},
 		{"fig19", "fat-tree FCT slowdown: TIMELY vs TIMELY+TCD", func(o options) []*exp.Result {
 			base := exp.DefaultFatTreeConfig(exp.CEE, exp.DetBaseline, exp.CCTIMELY, o.workload)
+			base.Obs = o.progressObs()
 			tuneFatTree(&base, o, 10, 40000)
 			res, _, _ := exp.FatTreeComparison(base, exp.CCTIMELY, exp.CCTIMELYTCD)
 			return []*exp.Result{res}
@@ -256,6 +274,13 @@ func main() {
 		csvdir   = flag.String("csvdir", "", "write every collected series as CSV files into this directory")
 		arch     = flag.String("arch", "oq", "switch architecture for observation runs: oq or voq")
 		runs     = flag.Int("runs", 1, "repeat the experiment over this many seeds and summarize (table3 only)")
+
+		traceOut   = flag.String("trace-out", "", "write the structured event trace as JSONL to this file (observation experiments)")
+		traceCap   = flag.Int("trace-cap", obs.DefaultRingCap, "event-trace ring capacity; oldest events drop beyond it")
+		metricsOut = flag.String("metrics-out", "", "write the labeled metrics registry as JSON to this file")
+		progress   = flag.Bool("progress", false, "print sim-vs-wall progress lines to stderr during the run")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		jsonOut    = flag.String("json", "", `serialize results as JSON to this file ("-" for stdout)`)
 	)
 	flag.Parse()
 
@@ -294,6 +319,28 @@ func main() {
 		o.horizon = units.Time(horizon.Nanoseconds()) * units.Nanosecond
 	}
 
+	var ring *obs.Ring
+	if *traceOut != "" {
+		ring = obs.NewRing(*traceCap)
+		o.obs.Rec = ring
+	}
+	if *metricsOut != "" {
+		o.obs.Metrics = obs.NewRegistry()
+	}
+	if *progress {
+		o.obs.ProgressEvery = units.Millisecond
+		o.obs.ProgressOut = os.Stderr
+	}
+	stopProfile := func() {}
+	if *cpuprofile != "" {
+		stop, err := obs.StartCPUProfile(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		stopProfile = stop
+	}
+
 	var chosen *runner
 	for i := range rs {
 		if rs[i].name == strings.ToLower(*name) {
@@ -308,8 +355,12 @@ func main() {
 
 	start := time.Now()
 	results := chosen.run(o)
+	stopProfile()
+	quiet := *jsonOut == "-" // keep stdout valid JSON
 	for _, res := range results {
-		fmt.Print(res.Render())
+		if !quiet {
+			fmt.Print(res.Render())
+		}
 		if *csvdir != "" {
 			if err := res.WriteSeries(*csvdir); err != nil {
 				fmt.Fprintf(os.Stderr, "csv export: %v\n", err)
@@ -329,5 +380,74 @@ func main() {
 			}
 		}
 	}
-	fmt.Printf("(%s, wall %v)\n", chosen.name, time.Since(start).Round(time.Millisecond))
+
+	if ring != nil {
+		if err := exportFile(*traceOut, ring.WriteJSONL); err != nil {
+			fmt.Fprintf(os.Stderr, "trace export: %v\n", err)
+			os.Exit(1)
+		}
+		if n := ring.Dropped(); n > 0 {
+			fmt.Fprintf(os.Stderr, "trace: ring overflowed, oldest %d events dropped (raise -trace-cap)\n", n)
+		}
+	}
+	if o.obs.Metrics != nil {
+		if err := exportFile(*metricsOut, o.obs.Metrics.WriteJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "metrics export: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *jsonOut != "" {
+		if err := exportResults(*jsonOut, results); err != nil {
+			fmt.Fprintf(os.Stderr, "json export: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	out := os.Stdout
+	if quiet {
+		out = os.Stderr
+	}
+	fmt.Fprintf(out, "(%s, wall %v)\n", chosen.name, time.Since(start).Round(time.Millisecond))
+}
+
+// exportFile writes via fn into path, creating it.
+func exportFile(path string, fn func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// exportResults serializes results to path ("-" = stdout): a single
+// object for one result, a JSON array otherwise.
+func exportResults(path string, results []*exp.Result) error {
+	write := func(w io.Writer) error {
+		if len(results) == 1 {
+			return results[0].WriteJSON(w)
+		}
+		if _, err := io.WriteString(w, "[\n"); err != nil {
+			return err
+		}
+		for i, r := range results {
+			if i > 0 {
+				if _, err := io.WriteString(w, ",\n"); err != nil {
+					return err
+				}
+			}
+			if err := r.WriteJSON(w); err != nil {
+				return err
+			}
+		}
+		_, err := io.WriteString(w, "]\n")
+		return err
+	}
+	if path == "-" {
+		return write(os.Stdout)
+	}
+	return exportFile(path, write)
 }

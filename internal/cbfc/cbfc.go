@@ -15,6 +15,7 @@ package cbfc
 
 import (
 	"github.com/tcdnet/tcd/internal/fabric"
+	"github.com/tcdnet/tcd/internal/obs"
 	"github.com/tcdnet/tcd/internal/packet"
 	"github.com/tcdnet/tcd/internal/sim"
 	"github.com/tcdnet/tcd/internal/units"
@@ -50,13 +51,28 @@ type Gate struct {
 	port  *fabric.Port
 	fctbs []int64
 	fccl  []int64
+	// starved tracks, per VL, whether the last refusal was reported, so
+	// exhaustion/grant events record the edges and not every CanSend.
+	starved []bool
 	// Updates counts FCCL messages received.
 	Updates uint64
 }
 
 // CanSend implements fabric.TxGate.
 func (g *Gate) CanSend(vl uint8, size units.ByteSize) bool {
-	return g.fctbs[vl]+int64(size) <= g.fccl[vl]
+	if g.fctbs[vl]+int64(size) <= g.fccl[vl] {
+		return true
+	}
+	if !g.starved[vl] {
+		g.starved[vl] = true
+		if rec := g.port.Recorder(); rec != nil {
+			rec.Record(obs.Event{
+				At: g.port.Now(), Kind: obs.KindCreditExhausted,
+				Port: g.port.Label(), Prio: vl, Flow: -1, Val: g.Credits(vl),
+			})
+		}
+	}
+	return false
 }
 
 // OnSend implements fabric.TxGate.
@@ -65,12 +81,21 @@ func (g *Gate) OnSend(vl uint8, size units.ByteSize) {
 }
 
 // HandleCtrl implements fabric.TxGate.
-func (g *Gate) HandleCtrl(_ units.Time, f fabric.CtrlFrame) {
+func (g *Gate) HandleCtrl(now units.Time, f fabric.CtrlFrame) {
 	if f.Kind != fabric.CtrlCredit {
 		return
 	}
 	if f.FCCL > g.fccl[f.Prio] {
 		g.fccl[f.Prio] = f.FCCL
+		if g.starved[f.Prio] {
+			g.starved[f.Prio] = false
+			if rec := g.port.Recorder(); rec != nil {
+				rec.Record(obs.Event{
+					At: now, Kind: obs.KindCreditGrant,
+					Port: g.port.Label(), Prio: f.Prio, Flow: -1, Val: g.Credits(f.Prio),
+				})
+			}
+		}
 		g.port.GateChanged()
 	}
 	g.Updates++
@@ -165,7 +190,7 @@ func Install(n *fabric.Network, cfg Config) {
 	nPrio := n.Config().Priorities
 	i := 0
 	for _, p := range n.Ports() {
-		g := &Gate{port: p, fctbs: make([]int64, nPrio), fccl: make([]int64, nPrio)}
+		g := &Gate{port: p, fctbs: make([]int64, nPrio), fccl: make([]int64, nPrio), starved: make([]bool, nPrio)}
 		for vl := range g.fccl {
 			g.fccl[vl] = int64(cfg.Buffer)
 		}

@@ -7,9 +7,29 @@
 package cc
 
 import (
+	"github.com/tcdnet/tcd/internal/obs"
 	"github.com/tcdnet/tcd/internal/sim"
 	"github.com/tcdnet/tcd/internal/units"
 )
+
+// trace is the per-flow event-recording state shared by all three
+// controllers: a recorder handle plus the flow ID, wired by the host
+// layer through obs.FlowTracer. recordRate emits one KindRateChange
+// event per effective rate change; with a nil recorder it is a single
+// branch.
+type trace struct {
+	rec  obs.Recorder
+	flow int64
+}
+
+// SetTrace implements obs.FlowTracer.
+func (t *trace) SetTrace(rec obs.Recorder, flow int64) { t.rec, t.flow = rec, flow }
+
+func (t *trace) recordRate(now units.Time, old, new units.Rate) {
+	if t.rec != nil && old != new {
+		t.rec.Record(obs.Event{At: now, Kind: obs.KindRateChange, Flow: t.flow, Val: int64(new), Aux: int64(old)})
+	}
+}
 
 // DCQCNConfig holds the DCQCN reaction-point parameters. Defaults follow
 // the values recommended in the DCQCN paper and its reference simulator.
@@ -73,6 +93,7 @@ func TCDDCQCNConfig(line units.Rate) DCQCNConfig {
 type DCQCN struct {
 	cfg   DCQCNConfig
 	sched *sim.Scheduler
+	trace
 
 	rc, rt units.Rate // current and target rate
 	alpha  float64
@@ -140,10 +161,12 @@ func (d *DCQCN) cut() {
 	if factor < 0.05 {
 		factor = 0.05
 	}
+	old := d.rc
 	d.rc = units.Rate(float64(d.rc) * factor)
 	if d.rc < d.cfg.MinRate {
 		d.rc = d.cfg.MinRate
 	}
+	d.recordRate(d.sched.Now(), old, d.rc)
 	d.alpha = (1-d.cfg.G)*d.alpha + d.cfg.G*d.cfg.AlphaCeil
 	d.bytes = 0
 	d.timerCnt = 0
@@ -191,8 +214,10 @@ func (d *DCQCN) increase() {
 	}
 	// Ceiling average: a floor here would leave rc one bps short of rt
 	// forever and keep the increase timer alive on an idle flow.
+	old := d.rc
 	d.rc = (d.rc + d.rt + 1) / 2
 	if d.rc > d.cfg.LineRate {
 		d.rc = d.cfg.LineRate
 	}
+	d.recordRate(d.sched.Now(), old, d.rc)
 }

@@ -49,8 +49,10 @@ func TCDIBCCConfig(line units.Rate) IBCCConfig {
 // IBCC is one flow's channel-adapter throttle.
 type IBCC struct {
 	cfg   IBCCConfig
+	sched *sim.Scheduler
 	ccti  int
 	timer *sim.Timer
+	trace
 
 	// Increases and Holds count BECN reactions and TCD holds.
 	Increases, Holds uint64
@@ -58,7 +60,7 @@ type IBCC struct {
 
 // NewIBCC builds a throttle at full injection rate.
 func NewIBCC(s *sim.Scheduler, cfg IBCCConfig) *IBCC {
-	c := &IBCC{cfg: cfg}
+	c := &IBCC{cfg: cfg, sched: s}
 	c.timer = sim.NewTimer(s, c.recover)
 	return c
 }
@@ -75,10 +77,12 @@ func (c *IBCC) CurrentRate() units.Rate {
 func (c *IBCC) OnNotify(now units.Time, ce, ue bool) {
 	if ce {
 		c.Increases++
+		old := c.CurrentRate()
 		c.ccti += c.cfg.Step
 		if c.ccti > c.cfg.CCTIMax {
 			c.ccti = c.cfg.CCTIMax
 		}
+		c.recordRate(now, old, c.CurrentRate())
 		c.timer.Arm(c.cfg.Timer)
 		return
 	}
@@ -91,9 +95,11 @@ func (c *IBCC) OnNotify(now units.Time, ce, ue bool) {
 func (c *IBCC) OnAck(units.Time, units.Time, bool, bool) {}
 
 func (c *IBCC) recover() {
+	old := c.CurrentRate()
 	if c.ccti > 0 {
 		c.ccti--
 	}
+	c.recordRate(c.sched.Now(), old, c.CurrentRate())
 	if c.ccti > 0 {
 		c.timer.Arm(c.cfg.Timer)
 	}

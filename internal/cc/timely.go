@@ -65,6 +65,7 @@ func TCDTIMELYConfig(line units.Rate) TIMELYConfig {
 // TIMELY is one flow's RTT-gradient engine.
 type TIMELY struct {
 	cfg TIMELYConfig
+	trace
 
 	rate       units.Rate
 	prevRTT    units.Time
@@ -104,6 +105,8 @@ func (t *TIMELY) OnAck(now units.Time, rtt units.Time, ce, ue bool) {
 	t.rttDiff = (1-t.cfg.EwmaAlpha)*t.rttDiff + t.cfg.EwmaAlpha*newDiff
 	gradient := t.rttDiff / float64(t.cfg.MinRTT)
 
+	old := t.rate
+	defer func() { t.recordRate(now, old, t.rate) }()
 	switch {
 	case rtt < t.cfg.TLow:
 		t.additive(1)

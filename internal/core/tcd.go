@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"github.com/tcdnet/tcd/internal/obs"
 	"github.com/tcdnet/tcd/internal/packet"
 	"github.com/tcdnet/tcd/internal/units"
 )
@@ -105,6 +106,10 @@ type TCD struct {
 	// RecordTransitions enables the Transitions trace (experiments only;
 	// long fat-tree runs leave it off).
 	RecordTransitions bool
+	// Rec, if non-nil, receives a KindTCDState event per transition;
+	// Label names the detector's port in those events.
+	Rec   obs.Recorder
+	Label string
 }
 
 // NewTCD builds a detector. It panics on invalid configuration: detectors
@@ -139,6 +144,9 @@ func (d *TCD) setState(now units.Time, s State) {
 	d.timeIn[d.state] += now - d.stateSince
 	if d.RecordTransitions {
 		d.Transitions = append(d.Transitions, Transition{At: now, From: d.state, To: s})
+	}
+	if d.Rec != nil {
+		d.Rec.Record(obs.Event{At: now, Kind: obs.KindTCDState, Port: d.Label, Flow: -1, Val: int64(s), Aux: int64(d.state)})
 	}
 	d.state = s
 	d.stateSince = now

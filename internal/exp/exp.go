@@ -5,7 +5,9 @@
 package exp
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -73,6 +75,36 @@ func (r *Result) Render() string {
 		fmt.Fprintf(&sb, "  series %-32s samples=%d max=%.4g\n", k, len(s.T), s.Max())
 	}
 	return sb.String()
+}
+
+// jsonSeries is the export shape of one time series.
+type jsonSeries struct {
+	TimeUs []float64 `json:"time_us"`
+	Values []float64 `json:"values"`
+}
+
+// WriteJSON serializes the full result — scalars, tables, notes and every
+// series — as indented JSON. encoding/json sorts map keys, so same-seed
+// runs produce byte-identical output.
+func (r *Result) WriteJSON(w io.Writer) error {
+	series := make(map[string]jsonSeries, len(r.Series))
+	for name, s := range r.Series {
+		js := jsonSeries{TimeUs: make([]float64, len(s.T)), Values: s.V}
+		for i, t := range s.T {
+			js.TimeUs[i] = t.Micros()
+		}
+		series[name] = js
+	}
+	out := struct {
+		Name    string                `json:"name"`
+		Scalars map[string]float64    `json:"scalars"`
+		Tables  []string              `json:"tables,omitempty"`
+		Notes   []string              `json:"notes,omitempty"`
+		Series  map[string]jsonSeries `json:"series"`
+	}{r.Name, r.Scalars, r.Tables, r.Notes, series}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&out)
 }
 
 // WriteSeries dumps every collected time series as a CSV file under dir

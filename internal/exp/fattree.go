@@ -5,6 +5,7 @@ import (
 
 	"github.com/tcdnet/tcd/internal/cbfc"
 	"github.com/tcdnet/tcd/internal/host"
+	"github.com/tcdnet/tcd/internal/obs"
 	"github.com/tcdnet/tcd/internal/packet"
 	"github.com/tcdnet/tcd/internal/pfc"
 	"github.com/tcdnet/tcd/internal/rng"
@@ -38,6 +39,9 @@ type FatTreeConfig struct {
 	// flows can complete.
 	Horizon units.Time
 	Seed    uint64
+	// Obs wires event tracing, metrics and progress reporting into the
+	// rig (all off by default).
+	Obs obs.Config
 }
 
 // DefaultFatTreeConfig returns a laptop-scale run; cmd/tcdsim raises K,
@@ -97,6 +101,7 @@ func FatTree(cfg FatTreeConfig) *FatTreeOutcome {
 		Seed:     cfg.Seed,
 		HostCfg:  hostCfg,
 		Selector: sel,
+		Obs:      cfg.Obs,
 	})
 	res := NewResult(fmt.Sprintf("fattree-k%d-%s-%s-%s-%s", cfg.K, cfg.Kind, cfg.Det, cfg.CC, cfg.Workload))
 

@@ -6,6 +6,7 @@ import (
 	"github.com/tcdnet/tcd/internal/core"
 	"github.com/tcdnet/tcd/internal/fabric"
 	"github.com/tcdnet/tcd/internal/host"
+	"github.com/tcdnet/tcd/internal/obs"
 	"github.com/tcdnet/tcd/internal/stats"
 	"github.com/tcdnet/tcd/internal/units"
 )
@@ -39,6 +40,9 @@ type ObserveConfig struct {
 	Arch fabric.Arch
 	// Seed feeds the rig's random streams.
 	Seed uint64
+	// Obs wires event tracing, metrics and progress reporting into the
+	// rig (all off by default).
+	Obs obs.Config
 }
 
 // DefaultObserveConfig returns the paper-scale §3.1 parameters.
@@ -90,6 +94,7 @@ func observeWithArch(cfg ObserveConfig, arch fabric.Arch) *Result {
 		Seed:   cfg.Seed,
 		Arch:   arch,
 		Record: true,
+		Obs:    cfg.Obs,
 	})
 	res := NewResult(name)
 

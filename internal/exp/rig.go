@@ -8,6 +8,7 @@ import (
 	"github.com/tcdnet/tcd/internal/core"
 	"github.com/tcdnet/tcd/internal/fabric"
 	"github.com/tcdnet/tcd/internal/host"
+	"github.com/tcdnet/tcd/internal/obs"
 	"github.com/tcdnet/tcd/internal/pfc"
 	"github.com/tcdnet/tcd/internal/rng"
 	"github.com/tcdnet/tcd/internal/routing"
@@ -171,6 +172,8 @@ type Rig struct {
 	CBFCCfg cbfc.Config
 	// PFCCfg holds the installed PFC parameters (CEE rigs).
 	PFCCfg pfc.Config
+	// Obs holds the observability hooks this rig was wired with.
+	Obs obs.Config
 }
 
 // RigConfig assembles a rig over an arbitrary topology.
@@ -192,6 +195,9 @@ type RigConfig struct {
 	CtrlJitter func() units.Time
 	// RecordTransitions turns on TCD transition logging (small rigs).
 	RecordTransitions bool
+	// Obs threads the observability hooks (event recorder, metrics
+	// registry, progress ticker) through every layer of the rig.
+	Obs obs.Config
 }
 
 // NewRig wires everything together.
@@ -206,11 +212,14 @@ func NewRig(cfg RigConfig) *Rig {
 		Kind:  cfg.Kind,
 		Det:   cfg.Det,
 		Par:   cfg.Par,
+		Obs:   cfg.Obs,
 	}
 	r.Par.fill(cfg.Kind)
+	cfg.Obs.Attach(r.Sched)
 	fc := fabric.DefaultConfig()
 	fc.CtrlJitter = cfg.CtrlJitter
 	fc.Arch = cfg.Arch
+	fc.Rec = cfg.Obs.Rec
 	r.Net = fabric.New(r.Sched, cfg.Topo, fc)
 	r.Routes = routing.BuildShortestPath(cfg.Topo)
 	r.Routes.Attach(r.Net, cfg.Selector)
@@ -237,6 +246,7 @@ func NewRig(cfg RigConfig) *Rig {
 		hc = host.DefaultConfig()
 	}
 	r.Mgr = host.Install(r.Net, hc)
+	r.Mgr.Rec = cfg.Obs.Rec
 	return r
 }
 
@@ -271,9 +281,12 @@ func (r *Rig) newDetector(p *fabric.Port, prio uint8, record bool) fabric.Detect
 	case DetTCD:
 		d := core.NewTCD(r.TCDConfigFor(p))
 		d.RecordTransitions = record
+		d.Rec, d.Label = r.Obs.Rec, p.Label()
 		return d
 	case DetTCDAdaptive:
-		return core.NewAdaptiveTCD(core.DefaultAdaptiveConfig(r.TCDConfigFor(p)))
+		a := core.NewAdaptiveTCD(core.DefaultAdaptiveConfig(r.TCDConfigFor(p)))
+		a.Inner().Rec, a.Inner().Label = r.Obs.Rec, p.Label()
+		return a
 	case DetNPECN:
 		red := core.NewRED(r.Par.RED, r.Rnd.Split())
 		return core.NewNPECN(core.NPECNConfig{RED: r.Par.RED}, red)
@@ -334,8 +347,67 @@ func (r *Rig) TCDAt(p *fabric.Port) *core.TCD {
 	return d
 }
 
-// Run drives the simulation to the horizon.
-func (r *Rig) Run(horizon units.Time) { r.Sched.RunUntil(horizon) }
+// Run drives the simulation to the horizon, then populates the metrics
+// registry (if one was configured) from the run's counters.
+func (r *Rig) Run(horizon units.Time) {
+	r.Sched.RunUntil(horizon)
+	if r.Obs.Metrics != nil {
+		r.SnapshotMetrics(r.Obs.Metrics)
+	}
+}
+
+// SnapshotMetrics folds the ad-hoc counters scattered over ports, flow
+// -control meters and the scheduler into a labeled registry — the
+// uniform export path that gradually replaces reading exported struct
+// fields directly.
+func (r *Rig) SnapshotMetrics(reg *obs.Registry) {
+	reg.Counter("sched_events").Add(int64(r.Sched.Processed()))
+	reg.Gauge("sched_sim_time_us").Set(r.Sched.Now().Micros())
+	reg.Gauge("sched_pending_events").Set(float64(r.Sched.Pending()))
+	for _, p := range r.Net.Ports() {
+		lbl := p.Label()
+		reg.Counter("port_tx_bytes", "port", lbl).Add(int64(p.TxBytes))
+		reg.Counter("port_tx_packets", "port", lbl).Add(int64(p.TxPackets))
+		reg.Counter("port_tx_data_bytes", "port", lbl).Add(int64(p.TxDataBytes))
+		reg.Counter("port_marked_ce", "port", lbl).Add(int64(p.MarkedCE))
+		reg.Counter("port_marked_ue", "port", lbl).Add(int64(p.MarkedUE))
+		reg.Counter("port_ctrl_sent", "port", lbl).Add(int64(p.CtrlSent))
+		reg.Gauge("port_pause_time_us", "port", lbl).Set(p.PauseTime.Micros())
+		reg.Gauge("port_queue_bytes", "port", lbl).Set(float64(p.TotalQueueBytes()))
+		switch m := p.Meter().(type) {
+		case *pfc.Meter:
+			reg.Counter("pfc_pauses_sent", "port", lbl).Add(int64(m.PausesSent))
+			reg.Counter("pfc_resumes_sent", "port", lbl).Add(int64(m.ResumesSent))
+			reg.Counter("pfc_violations", "port", lbl).Add(int64(m.Violations))
+			reg.Gauge("pfc_max_occupancy_bytes", "port", lbl).Set(float64(m.MaxOcc))
+		case *cbfc.Meter:
+			reg.Counter("cbfc_updates_sent", "port", lbl).Add(int64(m.UpdatesSent))
+			reg.Counter("cbfc_violations", "port", lbl).Add(int64(m.Violations))
+			reg.Gauge("cbfc_max_occupancy_bytes", "port", lbl).Set(float64(m.MaxOcc))
+		}
+		var tcd *core.TCD
+		switch d := p.DetectorAt(0).(type) {
+		case *core.TCD:
+			tcd = d
+		case interface{ Inner() *core.TCD }:
+			tcd = d.Inner()
+		}
+		if tcd != nil {
+			reg.Gauge("tcd_state", "port", lbl).Set(float64(tcd.State()))
+			reg.Gauge("tcd_time_undetermined_us", "port", lbl).Set(tcd.TimeIn(core.Undetermined).Micros())
+			reg.Gauge("tcd_time_congestion_us", "port", lbl).Set(tcd.TimeIn(core.Congestion).Micros())
+		}
+	}
+	for _, f := range r.Mgr.Flows() {
+		flow := fmt.Sprintf("%d", f.ID)
+		reg.Counter("flow_rx_bytes", "flow", flow).Add(int64(f.BytesRxed))
+		reg.Counter("flow_ce_packets", "flow", flow).Add(int64(f.CEPackets))
+		reg.Counter("flow_ue_packets", "flow", flow).Add(int64(f.UEPackets))
+		if f.Done {
+			reg.Gauge("flow_fct_us", "flow", flow).Set(f.FCT.Micros())
+		}
+	}
+}
 
 // Fig2Rig is the Figure-2 scenario rig with its observed ports.
 type Fig2Rig struct {
@@ -355,6 +427,7 @@ type Fig2Opts struct {
 	HostCfg host.Config
 	Arch    fabric.Arch
 	Record  bool
+	Obs     obs.Config
 }
 
 // NewFig2Rig builds the §3.1 scenario network.
@@ -372,6 +445,7 @@ func NewFig2Rig(o Fig2Opts) *Fig2Rig {
 		HostCfg:           o.HostCfg,
 		Arch:              o.Arch,
 		RecordTransitions: o.Record,
+		Obs:               o.Obs,
 	})
 	return &Fig2Rig{
 		Rig: r,

@@ -18,6 +18,7 @@ package fabric
 import (
 	"fmt"
 
+	"github.com/tcdnet/tcd/internal/obs"
 	"github.com/tcdnet/tcd/internal/packet"
 	"github.com/tcdnet/tcd/internal/sim"
 	"github.com/tcdnet/tcd/internal/topo"
@@ -154,6 +155,10 @@ type Config struct {
 	// MaxHops aborts the run if a packet exceeds this hop count
 	// (a routing-loop guard). Zero means 64.
 	MaxHops int
+	// Rec, if non-nil, receives structured events from every port and
+	// from the flow-control components attached to them (OFF edges,
+	// CE/UE marks, control frames). Nil disables recording at zero cost.
+	Rec obs.Recorder
 }
 
 // DefaultConfig returns a single-priority fabric with no switch latency.
@@ -219,6 +224,9 @@ type Port struct {
 	// Ingress.
 	meter RxMeter
 
+	// label caches Name() for event records (hot path; Name sprintfs).
+	label string
+
 	// Counters (cumulative; sampled by tracers).
 	TxBytes     units.ByteSize
 	TxPackets   uint64
@@ -235,8 +243,25 @@ func (p *Port) Name() string {
 	return fmt.Sprintf("%s[%d]->%s", p.net.Topo.Name(p.node.id), p.Index, p.net.Topo.Name(p.Peer.node.id))
 }
 
+// Label returns Name() cached for reuse in event records, so recording
+// an event never allocates.
+func (p *Port) Label() string {
+	if p.label == "" {
+		p.label = p.Name()
+	}
+	return p.label
+}
+
 // Node returns the owning node's ID.
 func (p *Port) Node() packet.NodeID { return p.node.id }
+
+// Recorder returns the fabric-wide event recorder (nil when disabled).
+// Flow-control components attached to the port emit through it.
+func (p *Port) Recorder() obs.Recorder { return p.net.cfg.Rec }
+
+// Now reports the current simulated time (for attached components that
+// emit events outside a callback carrying the time).
+func (p *Port) Now() units.Time { return p.net.Sched.Now() }
 
 // QueueBytes reports the egress queue length of one priority in bytes.
 func (p *Port) QueueBytes(prio uint8) units.ByteSize { return p.qbytes[prio] }
@@ -292,6 +317,16 @@ func (p *Port) SendCtrl(f CtrlFrame) {
 		d += p.net.cfg.CtrlJitter()
 	}
 	p.CtrlSent++
+	if rec := p.net.cfg.Rec; rec != nil {
+		kind := obs.KindCtrlPause
+		switch f.Kind {
+		case CtrlResume:
+			kind = obs.KindCtrlResume
+		case CtrlCredit:
+			kind = obs.KindCtrlCredit
+		}
+		rec.Record(obs.Event{At: now, Kind: kind, Port: p.Label(), Prio: f.Prio, Flow: -1, Val: f.FCCL})
+	}
 	peer := p.Peer
 	p.net.Sched.After(d, func() {
 		if peer.gate != nil {
@@ -326,8 +361,10 @@ func (p *Port) Enqueue(pkt *packet.Packet) {
 			switch pkt.Code {
 			case packet.CE:
 				p.MarkedCE++
+				p.recordMark(obs.KindMarkCE, pkt, p.qbytes[prio])
 			case packet.UE:
 				p.MarkedUE++
+				p.recordMark(obs.KindMarkUE, pkt, p.qbytes[prio])
 			}
 		}
 	}
@@ -382,6 +419,16 @@ func (p *Port) voqHead(prio uint8) (*fifo, *packet.Packet) {
 	return nil, nil
 }
 
+// recordMark emits a mark event (the caller already bumped the counter).
+func (p *Port) recordMark(kind obs.Kind, pkt *packet.Packet, qlen units.ByteSize) {
+	if rec := p.net.cfg.Rec; rec != nil {
+		rec.Record(obs.Event{
+			At: p.net.Sched.Now(), Kind: kind, Port: p.Label(),
+			Prio: pkt.Priority, Flow: int64(pkt.Flow), Val: int64(qlen),
+		})
+	}
+}
+
 func (p *Port) setBlocked(prio uint8, b bool) {
 	if p.blocked[prio] == b {
 		return
@@ -392,6 +439,13 @@ func (p *Port) setBlocked(prio uint8, b bool) {
 		p.blockStart = now
 	} else {
 		p.PauseTime += now - p.blockStart
+	}
+	if rec := p.net.cfg.Rec; rec != nil {
+		kind := obs.KindOffEnd
+		if b {
+			kind = obs.KindOffStart
+		}
+		rec.Record(obs.Event{At: now, Kind: kind, Port: p.Label(), Prio: prio, Flow: -1, Val: int64(p.qbytes[prio])})
 	}
 	if d := p.dets[prio]; d != nil {
 		if b {
@@ -483,8 +537,10 @@ func (p *Port) transmit(pkt *packet.Packet, fromQueue bool) {
 				switch pkt.Code {
 				case packet.CE:
 					p.MarkedCE++
+					p.recordMark(obs.KindMarkCE, pkt, p.qbytes[pkt.Priority])
 				case packet.UE:
 					p.MarkedUE++
+					p.recordMark(obs.KindMarkUE, pkt, p.qbytes[pkt.Priority])
 				}
 			}
 		}

@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"github.com/tcdnet/tcd/internal/fabric"
+	"github.com/tcdnet/tcd/internal/obs"
 	"github.com/tcdnet/tcd/internal/packet"
 	"github.com/tcdnet/tcd/internal/topo"
 	"github.com/tcdnet/tcd/internal/units"
@@ -141,6 +142,10 @@ type Manager struct {
 
 	// OnDone, if set, is called when a flow's last data byte arrives.
 	OnDone func(*Flow)
+	// Rec, if non-nil, receives CNP-emission and flow-completion events,
+	// and is handed to rate controllers implementing obs.FlowTracer.
+	// Set it before the first AddFlow.
+	Rec obs.Recorder
 }
 
 // Install creates an endpoint on every host and wires the network sink.
@@ -190,6 +195,9 @@ func (m *Manager) AddFlow(src, dst packet.NodeID, size units.ByteSize, start uni
 	f := &Flow{ID: m.nextID, Src: src, Dst: dst, Size: size, Start: start, Ctrl: ctrl}
 	m.nextID++
 	m.flows = append(m.flows, f)
+	if ft, ok := ctrl.(obs.FlowTracer); ok && m.Rec != nil {
+		ft.SetTrace(m.Rec, int64(f.ID))
+	}
 	m.net.Sched.At(start, func() { ep.activate(f) })
 	return f
 }
@@ -339,6 +347,9 @@ func (m *Manager) onData(ep *Endpoint, f *Flow, pkt *packet.Packet, now units.Ti
 	if pkt.Last && !f.Done {
 		f.Done = true
 		f.FCT = now - f.Start
+		if m.Rec != nil {
+			m.Rec.Record(obs.Event{At: now, Kind: obs.KindFlowDone, Prio: f.Priority, Flow: int64(f.ID), Val: int64(f.FCT)})
+		}
 		if m.OnDone != nil {
 			m.OnDone(f)
 		}
@@ -363,10 +374,19 @@ func (m *Manager) onData(ep *Endpoint, f *Flow, pkt *packet.Packet, now units.Ti
 	if ce && (f.lastCNPce == 0 || now-f.lastCNPce >= m.cfg.CNPWindow) {
 		f.lastCNPce = now
 		ep.pushCtrl(m.cnp(ep.id, f, true, false))
+		m.recordCNP(now, f, 1)
 	}
 	if ue && (f.lastCNPue == 0 || now-f.lastCNPue >= m.cfg.CNPWindow) {
 		f.lastCNPue = now
 		ep.pushCtrl(m.cnp(ep.id, f, false, true))
+		m.recordCNP(now, f, 2)
+	}
+}
+
+// recordCNP emits a CNP event (echo: 1 = CE, 2 = UE).
+func (m *Manager) recordCNP(now units.Time, f *Flow, echo int64) {
+	if m.Rec != nil {
+		m.Rec.Record(obs.Event{At: now, Kind: obs.KindCNP, Prio: f.Priority, Flow: int64(f.ID), Val: echo})
 	}
 }
 

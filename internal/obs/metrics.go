@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Registry is a labeled metrics store: monotonic counters and
+// point-in-time gauges keyed by a name plus label pairs (port, flow,
+// priority...). It replaces ad-hoc exported counter fields gradually:
+// components keep their fields, and a snapshot pass folds them into the
+// registry at the end of a run for uniform export.
+//
+// Keys are canonical — label pairs are sorted — so the same metric
+// reached from different call sites lands in one cell, and the JSON
+// export is deterministic.
+type Registry struct {
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+	}
+}
+
+// Counter is a monotonically increasing int64 metric.
+type Counter struct{ v int64 }
+
+// Add increments the counter.
+func (c *Counter) Add(d int64) { c.v += d }
+
+// Value reports the current count.
+func (c *Counter) Value() int64 { return c.v }
+
+// Gauge is a point-in-time float64 metric.
+type Gauge struct{ v float64 }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.v = v }
+
+// Value reports the current value.
+func (g *Gauge) Value() float64 { return g.v }
+
+// metricKey renders "name{k=v,k2=v2}" with label pairs sorted by key.
+func metricKey(name string, labels []string) string {
+	if len(labels)%2 != 0 {
+		panic("obs: labels must be key,value pairs")
+	}
+	if len(labels) == 0 {
+		return name
+	}
+	type pair struct{ k, v string }
+	pairs := make([]pair, 0, len(labels)/2)
+	for i := 0; i < len(labels); i += 2 {
+		pairs = append(pairs, pair{labels[i], labels[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var sb strings.Builder
+	sb.WriteString(name)
+	sb.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(p.k)
+		sb.WriteByte('=')
+		sb.WriteString(p.v)
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// Counter returns (creating if needed) the counter for name plus
+// alternating label key,value pairs.
+func (r *Registry) Counter(name string, labels ...string) *Counter {
+	key := metricKey(name, labels)
+	c, ok := r.counters[key]
+	if !ok {
+		c = &Counter{}
+		r.counters[key] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the gauge for name plus labels.
+func (r *Registry) Gauge(name string, labels ...string) *Gauge {
+	key := metricKey(name, labels)
+	g, ok := r.gauges[key]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[key] = g
+	}
+	return g
+}
+
+// Len reports the number of registered metrics.
+func (r *Registry) Len() int { return len(r.counters) + len(r.gauges) }
+
+// WriteJSON exports the registry as a two-section JSON object. Map keys
+// are sorted by encoding/json, making the output deterministic.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	counters := make(map[string]int64, len(r.counters))
+	for k, c := range r.counters {
+		counters[k] = c.v
+	}
+	gauges := make(map[string]float64, len(r.gauges))
+	for k, g := range r.gauges {
+		gauges[k] = g.v
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Counters map[string]int64   `json:"counters"`
+		Gauges   map[string]float64 `json:"gauges"`
+	}{counters, gauges})
+}

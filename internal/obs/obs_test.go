@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/tcdnet/tcd/internal/sim"
+	"github.com/tcdnet/tcd/internal/units"
+)
+
+func TestRingFillsInOrder(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 3; i++ {
+		r.Record(Event{At: units.Time(i), Kind: KindMarkCE, Flow: -1})
+	}
+	if r.Len() != 3 || r.Dropped() != 0 {
+		t.Fatalf("len=%d dropped=%d, want 3/0", r.Len(), r.Dropped())
+	}
+	for i, e := range r.Events() {
+		if e.At != units.Time(i) {
+			t.Fatalf("event %d at %v, want %v", i, e.At, units.Time(i))
+		}
+	}
+}
+
+func TestRingOverflowDropsOldest(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 10; i++ {
+		r.Record(Event{At: units.Time(i), Kind: KindMarkUE, Flow: -1})
+	}
+	if r.Len() != 4 {
+		t.Fatalf("len=%d, want 4", r.Len())
+	}
+	if r.Dropped() != 6 {
+		t.Fatalf("dropped=%d, want 6", r.Dropped())
+	}
+	evs := r.Events()
+	for i, want := range []units.Time{6, 7, 8, 9} {
+		if evs[i].At != want {
+			t.Fatalf("event %d at %v, want %v (oldest must be dropped first)", i, evs[i].At, want)
+		}
+	}
+}
+
+func TestRingDefaultCapacity(t *testing.T) {
+	if got := cap(NewRing(0).buf); got != DefaultRingCap {
+		t.Fatalf("default cap %d, want %d", got, DefaultRingCap)
+	}
+}
+
+func TestJSONLDeterministicAndWellFormed(t *testing.T) {
+	events := []Event{
+		{At: 100, Kind: KindCtrlPause, Port: "T0[1]->L0", Prio: 0, Flow: -1},
+		{At: 250, Kind: KindMarkCE, Port: "L0[2]->T2", Prio: 1, Flow: 7, Val: 210_000},
+		{At: 300, Kind: KindRateChange, Flow: 3, Val: 20_000_000_000, Aux: 40_000_000_000},
+		{At: 400, Kind: KindTCDState, Port: "L0[2]->T2", Flow: -1, Val: 2, Aux: 0},
+	}
+	var a, b bytes.Buffer
+	if err := WriteJSONL(&a, events); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteJSONL(&b, events); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("identical event sequences must encode byte-identically")
+	}
+	lines := strings.Split(strings.TrimRight(a.String(), "\n"), "\n")
+	if len(lines) != len(events) {
+		t.Fatalf("%d lines, want %d", len(lines), len(events))
+	}
+	if want := `{"t":100,"kind":"ctrl.pause","port":"T0[1]->L0","prio":0,"val":0,"aux":0}`; lines[0] != want {
+		t.Fatalf("line 0:\n got %s\nwant %s", lines[0], want)
+	}
+	if want := `{"t":300,"kind":"cc.rate","prio":0,"flow":3,"val":20000000000,"aux":40000000000}`; lines[2] != want {
+		t.Fatalf("line 2:\n got %s\nwant %s", lines[2], want)
+	}
+}
+
+func TestKindStringsCovered(t *testing.T) {
+	for k := KindNone; k < numKinds; k++ {
+		if k.String() == "" {
+			t.Fatalf("kind %d has no name", k)
+		}
+	}
+	if Kind(200).String() != "unknown" {
+		t.Fatal("out-of-range kind must render as unknown")
+	}
+}
+
+func TestRegistryCanonicalKeysAndJSON(t *testing.T) {
+	reg := NewRegistry()
+	// Label order must not matter: both calls hit the same cell.
+	reg.Counter("tx_bytes", "port", "P2", "prio", "0").Add(10)
+	reg.Counter("tx_bytes", "prio", "0", "port", "P2").Add(5)
+	reg.Gauge("queue_bytes", "port", "P3").Set(1.5)
+	if got := reg.Counter("tx_bytes", "port", "P2", "prio", "0").Value(); got != 15 {
+		t.Fatalf("counter=%d, want 15 (label order must canonicalize)", got)
+	}
+	if reg.Len() != 2 {
+		t.Fatalf("len=%d, want 2", reg.Len())
+	}
+	var a, b bytes.Buffer
+	if err := reg.WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("registry export must be deterministic")
+	}
+	if !strings.Contains(a.String(), `"tx_bytes{port=P2,prio=0}": 15`) {
+		t.Fatalf("export missing canonical counter key:\n%s", a.String())
+	}
+}
+
+func TestProgressTicksOnSimClock(t *testing.T) {
+	s := sim.New()
+	var out bytes.Buffer
+	AttachProgress(s, 10*units.Microsecond, &out)
+	// Some work for the ticker to interleave with.
+	for i := 1; i <= 5; i++ {
+		s.At(units.Time(i)*8*units.Microsecond, func() {})
+	}
+	s.RunUntil(40 * units.Microsecond)
+	ticks := strings.Count(out.String(), "progress: sim=")
+	if ticks != 4 {
+		t.Fatalf("%d progress lines, want 4 (every 10us until 40us):\n%s", ticks, out.String())
+	}
+	if !strings.Contains(out.String(), "pending=") {
+		t.Fatal("progress line must report heap depth")
+	}
+}
+
+func TestFuncRecorder(t *testing.T) {
+	var got []Event
+	var rec Recorder = Func(func(e Event) { got = append(got, e) })
+	rec.Record(Event{At: 1, Kind: KindCNP, Flow: 2, Val: 1})
+	if len(got) != 1 || got[0].Kind != KindCNP {
+		t.Fatalf("func recorder got %v", got)
+	}
+}

@@ -10,6 +10,7 @@ package pfc
 
 import (
 	"github.com/tcdnet/tcd/internal/fabric"
+	"github.com/tcdnet/tcd/internal/obs"
 	"github.com/tcdnet/tcd/internal/packet"
 	"github.com/tcdnet/tcd/internal/topo"
 	"github.com/tcdnet/tcd/internal/units"
@@ -54,14 +55,20 @@ func (g *Gate) CanSend(prio uint8, _ units.ByteSize) bool { return !g.paused[pri
 func (g *Gate) OnSend(uint8, units.ByteSize) {}
 
 // HandleCtrl implements fabric.TxGate.
-func (g *Gate) HandleCtrl(_ units.Time, f fabric.CtrlFrame) {
+func (g *Gate) HandleCtrl(now units.Time, f fabric.CtrlFrame) {
 	switch f.Kind {
 	case fabric.CtrlPause:
 		g.paused[f.Prio] = true
 		g.Pauses++
+		if rec := g.port.Recorder(); rec != nil {
+			rec.Record(obs.Event{At: now, Kind: obs.KindPauseOn, Port: g.port.Label(), Prio: f.Prio, Flow: -1})
+		}
 	case fabric.CtrlResume:
 		if g.paused[f.Prio] {
 			g.paused[f.Prio] = false
+			if rec := g.port.Recorder(); rec != nil {
+				rec.Record(obs.Event{At: now, Kind: obs.KindPauseOff, Port: g.port.Label(), Prio: f.Prio, Flow: -1})
+			}
 			g.port.GateChanged()
 		}
 	}

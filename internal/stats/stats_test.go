@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"fmt"
 	"math"
 	"strings"
 	"testing"
@@ -183,5 +184,40 @@ func TestDeltaProbe(t *testing.T) {
 	count = 9
 	if probe() != 2 {
 		t.Error("second delta wrong")
+	}
+}
+
+func TestNewTracerRejectsZeroInterval(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("NewTracer(interval=0) did not panic; the sampling loop would never advance sim time")
+		}
+		if !strings.Contains(fmt.Sprint(r), "interval must be positive") {
+			t.Errorf("panic message %q does not explain the constraint", r)
+		}
+	}()
+	NewTracer(sim.New(), 0, units.Millisecond)
+}
+
+func TestRateProbeFirstSampleBaseline(t *testing.T) {
+	// The counter already holds history when the probe is built; the
+	// first sample must measure from construction, not from zero.
+	sent := 1000 * units.KB
+	probe := RateProbe(func() units.ByteSize { return sent }, units.Microsecond)
+	sent += 5000
+	if got := probe(); math.Abs(got-40e9) > 1e6 {
+		t.Errorf("first sample = %v, want 40e9 (pre-existing counter value leaked in)", got)
+	}
+}
+
+func TestDeltaProbeWraparound(t *testing.T) {
+	// uint64 modular arithmetic keeps the increment correct across a
+	// counter wrap.
+	count := uint64(math.MaxUint64 - 2)
+	probe := DeltaProbe(func() uint64 { return count })
+	count += 5 // wraps to 2
+	if got := probe(); got != 5 {
+		t.Errorf("delta across wraparound = %v, want 5", got)
 	}
 }

@@ -17,8 +17,14 @@ type Tracer struct {
 	started  bool
 }
 
-// NewTracer builds a tracer sampling every interval until horizon.
+// NewTracer builds a tracer sampling every interval until horizon. It
+// panics on a non-positive interval: the sampling loop reschedules itself
+// `interval` after each tick, so interval <= 0 would re-fire at the same
+// sim time forever and the run would never reach its horizon.
 func NewTracer(s *sim.Scheduler, interval, horizon units.Time) *Tracer {
+	if interval <= 0 {
+		panic("stats: NewTracer interval must be positive (a zero interval reschedules at the same sim time forever)")
+	}
 	return &Tracer{sched: s, interval: interval, horizon: horizon}
 }
 
