@@ -20,6 +20,7 @@ const benchSeed = 42
 
 func benchObserve(b *testing.B, kind exp.FabricKind, det exp.DetectorKind, multi bool) *exp.Result {
 	var res *exp.Result
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		cfg := exp.DefaultObserveConfig(kind, det, multi)
 		cfg.Horizon = 5 * units.Millisecond
@@ -57,6 +58,7 @@ func BenchmarkFig4MultipleCongestionPoints(b *testing.B) {
 // Fig 8: the analytic ON-OFF model surface.
 func BenchmarkFig8TonSurface(b *testing.B) {
 	var res *exp.Result
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res = exp.Fig8()
 	}
@@ -69,6 +71,7 @@ func BenchmarkFig11TestbedMarking(b *testing.B) {
 		kind := kind
 		b.Run(kind.String(), func(b *testing.B) {
 			var res *exp.Result
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				cfg := exp.DefaultTestbedConfig(kind)
 				cfg.Horizon = 20 * units.Millisecond
@@ -115,6 +118,7 @@ func b2f(v bool) float64 {
 // Table 3: fraction of victim flows mistakenly marked CE.
 func BenchmarkTable3VictimFlows(b *testing.B) {
 	var rows []exp.Table3Row
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		_, rows = exp.Table3(10*units.Millisecond, benchSeed)
 	}
@@ -128,6 +132,7 @@ func BenchmarkTable3VictimFlows(b *testing.B) {
 // Fig 14: sensitivity of eps.
 func BenchmarkFig14EpsilonSensitivity(b *testing.B) {
 	var pts []exp.Fig14Point
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		_, pts = exp.Fig14(exp.CEE, 8*units.Millisecond, benchSeed)
 	}
@@ -148,6 +153,7 @@ func fmtEps(e float64) string {
 // Fig 15: DCQCN vs DCQCN+TCD on victim flows.
 func BenchmarkFig15DCQCNVictims(b *testing.B) {
 	var res *exp.Result
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, _, _ = exp.VictimFCT(exp.CEE, exp.CCDCQCN, exp.CCDCQCNTCD, 15*units.Millisecond, benchSeed)
 	}
@@ -161,6 +167,7 @@ func BenchmarkFig16DCQCNWorkloads(b *testing.B) {
 		wl := wl
 		b.Run(wl, func(b *testing.B) {
 			var res *exp.Result
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				cfg := exp.DefaultFatTreeConfig(exp.CEE, exp.DetBaseline, exp.CCDCQCN, wl)
 				cfg.K = 4
@@ -179,6 +186,7 @@ func BenchmarkFig16DCQCNWorkloads(b *testing.B) {
 func BenchmarkFig17IBCC(b *testing.B) {
 	b.Run("victims", func(b *testing.B) {
 		var res *exp.Result
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			res, _, _ = exp.VictimFCT(exp.IB, exp.CCIBCC, exp.CCIBCCTCD, 15*units.Millisecond, benchSeed)
 		}
@@ -186,6 +194,7 @@ func BenchmarkFig17IBCC(b *testing.B) {
 	})
 	b.Run("mpiio", func(b *testing.B) {
 		var res *exp.Result
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			cfg := exp.DefaultFatTreeConfig(exp.IB, exp.DetBaseline, exp.CCIBCC, "mpiio")
 			cfg.K = 4
@@ -201,6 +210,7 @@ func BenchmarkFig17IBCC(b *testing.B) {
 // Fig 18: TIMELY vs TIMELY+TCD on victim flows.
 func BenchmarkFig18TIMELYVictims(b *testing.B) {
 	var res *exp.Result
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, _, _ = exp.VictimFCT(exp.CEE, exp.CCTIMELY, exp.CCTIMELYTCD, 15*units.Millisecond, benchSeed)
 	}
@@ -213,6 +223,7 @@ func BenchmarkFig19TIMELYWorkloads(b *testing.B) {
 		wl := wl
 		b.Run(wl, func(b *testing.B) {
 			var res *exp.Result
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				cfg := exp.DefaultFatTreeConfig(exp.CEE, exp.DetBaseline, exp.CCTIMELY, wl)
 				cfg.K = 4
@@ -232,6 +243,7 @@ func BenchmarkFig20Fairness(b *testing.B) {
 		cc := cc
 		b.Run(cc.String(), func(b *testing.B) {
 			var res *exp.Result
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				cfg := exp.DefaultFairnessConfig(exp.CEE, cc)
 				cfg.Horizon = 30 * units.Millisecond
@@ -246,6 +258,7 @@ func BenchmarkFig20Fairness(b *testing.B) {
 // Ablations of the design choices DESIGN.md calls out.
 func BenchmarkAblationDetectors(b *testing.B) {
 	var res *exp.Result
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res = exp.AblationDetectors(exp.IB, 12*units.Millisecond, benchSeed)
 	}
@@ -257,6 +270,7 @@ func BenchmarkAblationDetectors(b *testing.B) {
 
 func BenchmarkAblationNotificationRules(b *testing.B) {
 	var res *exp.Result
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res = exp.AblationNotification(12*units.Millisecond, benchSeed)
 	}
@@ -266,6 +280,7 @@ func BenchmarkAblationNotificationRules(b *testing.B) {
 
 func BenchmarkAblationTrendSlack(b *testing.B) {
 	var res *exp.Result
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res = exp.AblationTrendSlack(12*units.Millisecond, benchSeed)
 	}
@@ -276,6 +291,7 @@ func BenchmarkAblationTrendSlack(b *testing.B) {
 // §4.5 multi-priority validation.
 func BenchmarkMultiPriority(b *testing.B) {
 	var res *exp.Result
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		cfg := exp.DefaultMultiPrioConfig()
 		cfg.Seed = benchSeed
@@ -291,6 +307,7 @@ func BenchmarkMultiPriority(b *testing.B) {
 // nil-guarded interface fields and obs.Event is a flat value struct.
 func BenchmarkObsOverhead(b *testing.B) {
 	run := func(b *testing.B, oc obs.Config) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			cfg := exp.DefaultObserveConfig(exp.CEE, exp.DetTCD, false)
 			cfg.Horizon = 5 * units.Millisecond

@@ -15,15 +15,19 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"time"
 
+	"github.com/tcdnet/tcd/internal/bench"
 	"github.com/tcdnet/tcd/internal/exp"
+	"github.com/tcdnet/tcd/internal/exp/sweep"
 	"github.com/tcdnet/tcd/internal/fabric"
 	"github.com/tcdnet/tcd/internal/obs"
 	"github.com/tcdnet/tcd/internal/units"
@@ -109,36 +113,10 @@ func runners() []runner {
 			if o.full {
 				h = 120 * units.Millisecond
 			}
-			if o.runs <= 1 {
-				res, _ := exp.Table3(h, o.seed)
-				return []*exp.Result{res}
-			}
-			// Seed sweep: report min/mean/max per scheme to expose the
-			// regime noise EXPERIMENTS.md documents.
-			agg := exp.NewResult(fmt.Sprintf("table3-sweep-%d-seeds", o.runs))
-			sums := map[string][]float64{}
-			for i := 0; i < o.runs; i++ {
-				_, rows := exp.Table3(h, o.seed+uint64(i))
-				for _, r := range rows {
-					sums[r.Scheme] = append(sums[r.Scheme], r.Fraction)
-				}
-			}
-			for scheme, vals := range sums {
-				lo, hi, sum := vals[0], vals[0], 0.0
-				for _, v := range vals {
-					if v < lo {
-						lo = v
-					}
-					if v > hi {
-						hi = v
-					}
-					sum += v
-				}
-				agg.Scalars[scheme+" mean"] = sum / float64(len(vals))
-				agg.AddNote("%-10s min=%.3f mean=%.3f max=%.3f over %d seeds",
-					scheme, lo, sum/float64(len(vals)), hi, o.runs)
-			}
-			return []*exp.Result{agg}
+			// Multi-seed repetition (-runs) is handled by the sweep engine,
+			// which folds min/mean/max/percentiles per scheme across seeds.
+			res, _ := exp.Table3(h, o.seed)
+			return []*exp.Result{res}
 		}},
 		{"fig14", "sensitivity of the TCD parameter eps", func(o options) []*exp.Result {
 			h := o.horizon
@@ -273,7 +251,9 @@ func main() {
 		series   = flag.String("series", "", "also dump this time series (name as shown in output)")
 		csvdir   = flag.String("csvdir", "", "write every collected series as CSV files into this directory")
 		arch     = flag.String("arch", "oq", "switch architecture for observation runs: oq or voq")
-		runs     = flag.Int("runs", 1, "repeat the experiment over this many seeds and summarize (table3 only)")
+		runs     = flag.Int("runs", 1, "repeat the experiment over this many consecutive seeds and fold statistics")
+		doSweep  = flag.Bool("sweep", false, "run the multi-seed sweep engine even for -runs 1")
+		parallel = flag.Int("parallel", 0, "sweep worker count (0 = GOMAXPROCS); runs stay deterministic per seed")
 
 		traceOut   = flag.String("trace-out", "", "write the structured event trace as JSONL to this file (observation experiments)")
 		traceCap   = flag.Int("trace-cap", obs.DefaultRingCap, "event-trace ring capacity; oldest events drop beyond it")
@@ -281,8 +261,15 @@ func main() {
 		progress   = flag.Bool("progress", false, "print sim-vs-wall progress lines to stderr during the run")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		jsonOut    = flag.String("json", "", `serialize results as JSON to this file ("-" for stdout)`)
+		benchJSON  = flag.String("bench-json", "", "run the benchmark-regression harness and write its JSON report to this file")
+		benchRev   = flag.String("bench-rev", "dev", "revision label embedded in the -bench-json report")
 	)
 	flag.Parse()
+
+	if *benchJSON != "" {
+		runBench(*benchJSON, *benchRev)
+		return
+	}
 
 	rs := runners()
 	if *list || *name == "" {
@@ -354,6 +341,12 @@ func main() {
 	}
 
 	start := time.Now()
+	if *doSweep || o.runs > 1 {
+		code := runSweep(chosen, o, *parallel, *progress, *jsonOut, *csvdir)
+		stopProfile()
+		fmt.Fprintf(os.Stderr, "(%s sweep, wall %v)\n", chosen.name, time.Since(start).Round(time.Millisecond))
+		os.Exit(code)
+	}
 	results := chosen.run(o)
 	stopProfile()
 	quiet := *jsonOut == "-" // keep stdout valid JSON
@@ -408,6 +401,113 @@ func main() {
 		out = os.Stderr
 	}
 	fmt.Fprintf(out, "(%s, wall %v)\n", chosen.name, time.Since(start).Round(time.Millisecond))
+}
+
+// runSweep repeats the chosen experiment over o.runs consecutive seeds
+// through the parallel sweep engine and renders the folded per-scalar
+// statistics. Each run owns a private scheduler/RNG/recorder, so the
+// per-run results are byte-identical to the serial path regardless of
+// worker count. Returns the process exit code.
+func runSweep(chosen *runner, o options, workers int, progress bool, jsonOut, csvdir string) int {
+	if o.obs.Rec != nil || o.obs.Metrics != nil {
+		fmt.Fprintln(os.Stderr, "sweep: -trace-out/-metrics-out are single-run sinks and are ignored in sweep mode")
+	}
+	n := o.runs
+	if n < 1 {
+		n = 1
+	}
+	specs := sweep.Grid{
+		Exps:    []string{chosen.name},
+		Fabrics: []exp.FabricKind{o.fabric},
+		Seeds:   sweep.Seq(o.seed, n),
+	}.Specs()
+	fn := func(sp sweep.Spec) []*exp.Result {
+		ro := o
+		ro.seed = sp.Seed
+		ro.runs = 1
+		// Shared trace/metrics sinks would interleave events from
+		// concurrently running simulations; sweeps run without them.
+		ro.obs = obs.Config{}
+		return chosen.run(ro)
+	}
+	opt := sweep.Options{Parallel: workers}
+	if progress {
+		done := 0
+		opt.OnDone = func(i int, r *sweep.RunResult) {
+			done++
+			fmt.Fprintf(os.Stderr, "sweep: %d/%d %s (%v)\n",
+				done, len(specs), r.Spec, r.Wall.Round(time.Millisecond))
+		}
+	}
+	rs := sweep.Run(context.Background(), specs, fn, opt)
+
+	if jsonOut != "-" {
+		for _, agg := range sweep.Aggregate(rs) {
+			fmt.Print(agg.Render())
+		}
+	}
+	if jsonOut != "" {
+		if err := exportFile(jsonOut, func(w io.Writer) error { return sweep.WriteJSON(w, rs) }); err != nil {
+			fmt.Fprintf(os.Stderr, "sweep json export: %v\n", err)
+			return 1
+		}
+	}
+	if csvdir != "" {
+		if err := exportSweepCSV(csvdir, rs); err != nil {
+			fmt.Fprintf(os.Stderr, "sweep csv export: %v\n", err)
+			return 1
+		}
+	}
+	code := 0
+	for _, r := range sweep.Errors(rs) {
+		fmt.Fprintf(os.Stderr, "sweep: run %s failed: %v\n", r.Spec, r.Err)
+		code = 1
+	}
+	return code
+}
+
+// exportSweepCSV writes the long-format scalar table to dir/sweep.csv and
+// each run's time series into a per-seed subdirectory (per-run result
+// names collide across seeds, so they cannot share one directory).
+func exportSweepCSV(dir string, rs []*sweep.RunResult) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, "sweep.csv")
+	if err := exportFile(path, func(w io.Writer) error { return sweep.WriteCSV(w, rs) }); err != nil {
+		return err
+	}
+	for _, r := range rs {
+		if r.Err != nil {
+			continue
+		}
+		sub := filepath.Join(dir, fmt.Sprintf("seed-%d", r.Spec.Seed))
+		for _, res := range r.Results {
+			if err := res.WriteSeries(sub); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// runBench executes the benchmark-regression harness and writes
+// BENCH-style JSON to path ("-" for stdout).
+func runBench(path, rev string) {
+	rep := bench.Run(bench.Config{Rev: rev})
+	write := func(w io.Writer) error { return rep.WriteJSON(w) }
+	var err error
+	if path == "-" {
+		err = write(os.Stdout)
+	} else {
+		err = exportFile(path, write)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "bench: %d cases, sweep speedup %.2fx (%d workers) -> %s\n",
+		len(rep.Cases), rep.Sweep.Speedup, rep.Sweep.Parallel, path)
 }
 
 // exportFile writes via fn into path, creating it.

@@ -1,0 +1,192 @@
+// Package bench is the performance-regression harness: it times a fixed
+// set of reduced-scale experiment runs (the same scenarios the paper's
+// figures use), measures allocations and event throughput, runs a
+// serial-vs-parallel sweep to record the multi-core speedup, and emits
+// one JSON report per revision (BENCH_<rev>.json). CI runs it on every
+// push so the perf trajectory of the simulator is tracked over time;
+// scripts/bench.sh is the local entry point.
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"runtime"
+	"time"
+
+	"github.com/tcdnet/tcd/internal/exp"
+	"github.com/tcdnet/tcd/internal/exp/sweep"
+	"github.com/tcdnet/tcd/internal/obs"
+	"github.com/tcdnet/tcd/internal/units"
+)
+
+// Config tunes the harness. The zero value is the reduced CI scale.
+type Config struct {
+	// Rev labels the report (git short hash; "dev" when unknown).
+	Rev string
+	// Iters is the measurement iteration count per case (default 3).
+	Iters int
+	// SweepSeeds is the seed count of the speedup sweep (default 8).
+	SweepSeeds int
+	// Parallel is the sweep worker count (default GOMAXPROCS).
+	Parallel int
+	// Horizon scales the per-run simulated time (default 5 ms for the
+	// observation cases, 3 ms for the table3 sweep).
+	Horizon units.Time
+}
+
+// Case is one timed scenario.
+type Case struct {
+	Name         string             `json:"name"`
+	NsPerOp      float64            `json:"ns_per_op"`
+	AllocsPerOp  float64            `json:"allocs_per_op"`
+	BytesPerOp   float64            `json:"bytes_per_op"`
+	EventsPerSec float64            `json:"events_per_sec,omitempty"`
+	Metrics      map[string]float64 `json:"metrics,omitempty"`
+}
+
+// SweepStats records the serial-vs-parallel wall-clock comparison of an
+// N-seed table3 sweep — the headline multi-core number.
+type SweepStats struct {
+	Seeds      int     `json:"seeds"`
+	Parallel   int     `json:"parallel"`
+	SerialMs   float64 `json:"serial_ms"`
+	ParallelMs float64 `json:"parallel_ms"`
+	Speedup    float64 `json:"speedup"`
+}
+
+// Report is the full benchmark output of one revision.
+type Report struct {
+	Rev        string     `json:"rev"`
+	GoVersion  string     `json:"go_version"`
+	NumCPU     int        `json:"num_cpu"`
+	GoMaxProcs int        `json:"gomaxprocs"`
+	UnixMs     int64      `json:"unix_ms"`
+	Cases      []Case     `json:"cases"`
+	Sweep      SweepStats `json:"sweep"`
+}
+
+// WriteJSON serializes the report.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+func (c *Config) fill() {
+	if c.Rev == "" {
+		c.Rev = "dev"
+	}
+	if c.Iters <= 0 {
+		c.Iters = 3
+	}
+	if c.SweepSeeds <= 0 {
+		c.SweepSeeds = 8
+	}
+	if c.Parallel <= 0 {
+		c.Parallel = runtime.GOMAXPROCS(0)
+	}
+	if c.Horizon <= 0 {
+		c.Horizon = 5 * units.Millisecond
+	}
+}
+
+// measure times fn over iters runs. fn reports the simulator events it
+// processed (zero when unknown) and a headline metric map sampled from
+// the last iteration.
+func measure(name string, iters int, fn func() (events uint64, metrics map[string]float64)) Case {
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	var events uint64
+	var metrics map[string]float64
+	for i := 0; i < iters; i++ {
+		ev, m := fn()
+		events += ev
+		metrics = m
+	}
+	wall := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	n := float64(iters)
+	c := Case{
+		Name:        name,
+		NsPerOp:     float64(wall.Nanoseconds()) / n,
+		AllocsPerOp: float64(m1.Mallocs-m0.Mallocs) / n,
+		BytesPerOp:  float64(m1.TotalAlloc-m0.TotalAlloc) / n,
+		Metrics:     metrics,
+	}
+	if sec := wall.Seconds(); sec > 0 && events > 0 {
+		c.EventsPerSec = float64(events) / sec
+	}
+	return c
+}
+
+// observeCase times one §3.1 observation run per iteration.
+func observeCase(name string, kind exp.FabricKind, det exp.DetectorKind, horizon units.Time, iters int) Case {
+	return measure(name, iters, func() (uint64, map[string]float64) {
+		cfg := exp.DefaultObserveConfig(kind, det, false)
+		cfg.Horizon = horizon
+		cfg.BurstRounds = 10
+		cfg.Seed = 42
+		reg := obs.NewRegistry()
+		cfg.Obs = obs.Config{Metrics: reg}
+		res := exp.Observe(cfg)
+		return uint64(reg.Counter("sched_events").Value()), map[string]float64{
+			"p2_max_queue_kb": res.Scalars["p2_max_queue_kb"],
+			"f0_ce":           res.Scalars["f0_ce"],
+		}
+	})
+}
+
+// Run executes the harness and returns the report.
+func Run(cfg Config) *Report {
+	cfg.fill()
+	r := &Report{
+		Rev:        cfg.Rev,
+		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		UnixMs:     time.Now().UnixMilli(),
+	}
+	r.Cases = append(r.Cases,
+		observeCase("observe-cee-baseline", exp.CEE, exp.DetBaseline, cfg.Horizon, cfg.Iters),
+		observeCase("observe-cee-tcd", exp.CEE, exp.DetTCD, cfg.Horizon, cfg.Iters),
+		observeCase("observe-ib-baseline", exp.IB, exp.DetBaseline, cfg.Horizon, cfg.Iters),
+		measure("table3", cfg.Iters, func() (uint64, map[string]float64) {
+			res, _ := exp.Table3(cfg.Horizon, 42)
+			return 0, map[string]float64{"TCD (CEE)": res.Scalars["TCD (CEE)"]}
+		}),
+	)
+	r.Sweep = speedupSweep(cfg)
+	return r
+}
+
+// speedupSweep times the same multi-seed table3 grid with one worker and
+// with cfg.Parallel workers. Per-run determinism makes the two runs do
+// identical work, so the wall-clock ratio is a clean speedup measure.
+func speedupSweep(cfg Config) SweepStats {
+	horizon := cfg.Horizon * 3 / 5 // lighter than the timed cases
+	fn := func(s sweep.Spec) []*exp.Result {
+		res, _ := exp.Table3(horizon, s.Seed)
+		return []*exp.Result{res}
+	}
+	specs := sweep.Grid{Exps: []string{"table3"}, Seeds: sweep.Seq(1, cfg.SweepSeeds)}.Specs()
+	time4 := func(workers int) time.Duration {
+		start := time.Now()
+		sweep.Run(context.Background(), specs, fn, sweep.Options{Parallel: workers})
+		return time.Since(start)
+	}
+	serial := time4(1)
+	parallel := time4(cfg.Parallel)
+	st := SweepStats{
+		Seeds:      cfg.SweepSeeds,
+		Parallel:   cfg.Parallel,
+		SerialMs:   serial.Seconds() * 1000,
+		ParallelMs: parallel.Seconds() * 1000,
+	}
+	if parallel > 0 {
+		st.Speedup = float64(serial) / float64(parallel)
+	}
+	return st
+}

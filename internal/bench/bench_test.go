@@ -1,0 +1,57 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"github.com/tcdnet/tcd/internal/units"
+)
+
+// TestRunProducesReport exercises the harness at a tiny scale and checks
+// every field CI consumes is populated and the JSON round-trips.
+func TestRunProducesReport(t *testing.T) {
+	r := Run(Config{
+		Rev:        "test",
+		Iters:      1,
+		SweepSeeds: 2,
+		Parallel:   2,
+		Horizon:    units.Millisecond,
+	})
+	if r.Rev != "test" || r.GoVersion == "" || r.NumCPU <= 0 || r.GoMaxProcs <= 0 {
+		t.Fatalf("report header incomplete: %+v", r)
+	}
+	wantCases := []string{"observe-cee-baseline", "observe-cee-tcd", "observe-ib-baseline", "table3"}
+	if len(r.Cases) != len(wantCases) {
+		t.Fatalf("got %d cases, want %d", len(r.Cases), len(wantCases))
+	}
+	for i, c := range r.Cases {
+		if c.Name != wantCases[i] {
+			t.Errorf("case %d = %q, want %q", i, c.Name, wantCases[i])
+		}
+		if c.NsPerOp <= 0 || c.AllocsPerOp <= 0 || c.BytesPerOp <= 0 {
+			t.Errorf("case %s has empty measurements: %+v", c.Name, c)
+		}
+	}
+	for _, c := range r.Cases[:3] { // observe cases wire a metrics registry
+		if c.EventsPerSec <= 0 {
+			t.Errorf("case %s missing events/sec", c.Name)
+		}
+	}
+	if r.Sweep.Seeds != 2 || r.Sweep.Parallel != 2 ||
+		r.Sweep.SerialMs <= 0 || r.Sweep.ParallelMs <= 0 || r.Sweep.Speedup <= 0 {
+		t.Errorf("sweep stats incomplete: %+v", r.Sweep)
+	}
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var back Report
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("report JSON does not round-trip: %v", err)
+	}
+	if back.Rev != "test" || len(back.Cases) != len(wantCases) {
+		t.Errorf("round-tripped report differs: %+v", back)
+	}
+}

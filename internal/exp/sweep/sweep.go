@@ -1,0 +1,378 @@
+// Package sweep is the parallel experiment runner: it fans a declarative
+// grid of run specs (experiment kind, fabric, detector, congestion
+// control, seed, horizon) across a worker pool, one simulator run per
+// task.
+//
+// Concurrency model: a single run is strictly single-threaded — it owns a
+// private sim.Scheduler, RNG and result recorder, exactly as in a serial
+// invocation — and parallelism exists only *across* runs. Workers share
+// nothing but the spec list and the result slice (each run writes its own
+// index), so a parallel sweep produces byte-identical per-run results to
+// the serial path; results are merged in stable spec order regardless of
+// completion order. A run that panics is captured (spec, message, stack)
+// without killing the sweep, and a cancelled context skips runs that have
+// not started.
+package sweep
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/tcdnet/tcd/internal/exp"
+	"github.com/tcdnet/tcd/internal/units"
+)
+
+// Spec identifies one simulator run of a sweep. The zero values of the
+// enum fields are meaningful ("fig3"-style defaults), so specs marshal
+// compactly and compare cheaply.
+type Spec struct {
+	// Exp names the experiment kind (a cmd/tcdsim runner name such as
+	// "fig3", "table3", or a caller-defined label).
+	Exp string `json:"exp"`
+	// Fabric selects CEE or IB.
+	Fabric exp.FabricKind `json:"fabric"`
+	// Det selects the detector under test.
+	Det exp.DetectorKind `json:"det"`
+	// CC selects the congestion control.
+	CC exp.CCKind `json:"cc"`
+	// Seed feeds the run's private random streams.
+	Seed uint64 `json:"seed"`
+	// Horizon overrides the experiment's default horizon when non-zero.
+	Horizon units.Time `json:"horizon_ns,omitempty"`
+}
+
+// String renders a compact label for progress lines and errors.
+func (s Spec) String() string {
+	return fmt.Sprintf("%s/%s/%s/%s/seed=%d", s.Exp, s.Fabric, s.Det, s.CC, s.Seed)
+}
+
+// Grid declares a cross product of run specs. Nil axes collapse to a
+// single zero value, so a grid that only sweeps seeds stays one line.
+type Grid struct {
+	Exps    []string
+	Fabrics []exp.FabricKind
+	Dets    []exp.DetectorKind
+	CCs     []exp.CCKind
+	Seeds   []uint64
+	Horizon units.Time
+}
+
+// Seq returns n consecutive seeds starting at base — the common
+// multi-seed repetition axis.
+func Seq(base uint64, n int) []uint64 {
+	seeds := make([]uint64, n)
+	for i := range seeds {
+		seeds[i] = base + uint64(i)
+	}
+	return seeds
+}
+
+// Specs expands the grid in deterministic order: experiments outermost,
+// seeds innermost, matching how the serial CLI would iterate the axes.
+func (g Grid) Specs() []Spec {
+	exps := g.Exps
+	if len(exps) == 0 {
+		exps = []string{""}
+	}
+	fabrics := g.Fabrics
+	if len(fabrics) == 0 {
+		fabrics = []exp.FabricKind{exp.CEE}
+	}
+	dets := g.Dets
+	if len(dets) == 0 {
+		dets = []exp.DetectorKind{exp.DetNone}
+	}
+	ccs := g.CCs
+	if len(ccs) == 0 {
+		ccs = []exp.CCKind{exp.CCFixed}
+	}
+	seeds := g.Seeds
+	if len(seeds) == 0 {
+		seeds = []uint64{1}
+	}
+	specs := make([]Spec, 0, len(exps)*len(fabrics)*len(dets)*len(ccs)*len(seeds))
+	for _, e := range exps {
+		for _, f := range fabrics {
+			for _, d := range dets {
+				for _, c := range ccs {
+					for _, s := range seeds {
+						specs = append(specs, Spec{
+							Exp: e, Fabric: f, Det: d, CC: c,
+							Seed: s, Horizon: g.Horizon,
+						})
+					}
+				}
+			}
+		}
+	}
+	return specs
+}
+
+// RunFunc executes one spec and returns its results. It is called from
+// worker goroutines and must not share mutable state across calls: build
+// a fresh rig (scheduler, RNG, recorder) per invocation.
+type RunFunc func(Spec) []*exp.Result
+
+// RunResult is the outcome of one spec.
+type RunResult struct {
+	Spec    Spec          `json:"spec"`
+	Results []*exp.Result `json:"-"`
+	// Err carries a captured panic ("panic: <msg>" plus stack) or the
+	// context error for runs skipped by cancellation.
+	Err error `json:"-"`
+	// Wall is the run's wall-clock duration (zero when skipped).
+	Wall time.Duration `json:"-"`
+}
+
+// Options tunes the engine.
+type Options struct {
+	// Parallel is the worker count; <= 0 means GOMAXPROCS.
+	Parallel int
+	// OnDone, if non-nil, is called after each run completes (in
+	// completion order, serialized — safe to print from).
+	OnDone func(index int, r *RunResult)
+}
+
+// panicError is a recovered run panic.
+type panicError struct {
+	spec  Spec
+	value interface{}
+	stack []byte
+}
+
+func (e *panicError) Error() string {
+	return fmt.Sprintf("sweep: run %s panicked: %v\n%s", e.spec, e.value, e.stack)
+}
+
+// Run executes every spec through fn on a pool of Options.Parallel
+// workers and returns the outcomes in spec order. One diverging run
+// (panic) marks only its own RunResult; cancelling ctx lets in-flight
+// runs finish and marks not-yet-started ones with ctx.Err().
+func Run(ctx context.Context, specs []Spec, fn RunFunc, opt Options) []*RunResult {
+	workers := opt.Parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+	out := make([]*RunResult, len(specs))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	var mu sync.Mutex // serializes OnDone
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				r := runOne(ctx, specs[i], fn)
+				out[i] = r
+				if opt.OnDone != nil {
+					mu.Lock()
+					opt.OnDone(i, r)
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := range specs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return out
+}
+
+// runOne executes a single spec with panic capture.
+func runOne(ctx context.Context, spec Spec, fn RunFunc) (r *RunResult) {
+	r = &RunResult{Spec: spec}
+	if err := ctx.Err(); err != nil {
+		r.Err = err
+		return r
+	}
+	start := time.Now()
+	defer func() {
+		r.Wall = time.Since(start)
+		if v := recover(); v != nil {
+			r.Err = &panicError{spec: spec, value: v, stack: stack()}
+		}
+	}()
+	r.Results = fn(spec)
+	return r
+}
+
+func stack() []byte {
+	buf := make([]byte, 16<<10)
+	return buf[:runtime.Stack(buf, false)]
+}
+
+// Stats summarizes one scalar across seeds.
+type Stats struct {
+	N                        int
+	Min, Mean, Max, P50, P95 float64
+}
+
+// Fold computes the summary of vals (which must be non-empty).
+func Fold(vals []float64) Stats {
+	s := Stats{N: len(vals), Min: vals[0], Max: vals[0]}
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	sum := 0.0
+	for _, v := range sorted {
+		sum += v
+	}
+	s.Min, s.Max = sorted[0], sorted[len(sorted)-1]
+	s.Mean = sum / float64(len(sorted))
+	s.P50 = percentile(sorted, 0.5)
+	s.P95 = percentile(sorted, 0.95)
+	return s
+}
+
+// percentile reads the p-quantile from an ascending slice (nearest-rank).
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// Aggregate folds the scalar outputs of successful runs across seeds:
+// results are grouped by result name (an experiment returning several
+// results yields several aggregates), and each scalar key becomes
+// min/mean/max plus p50/p95 statistics. Group and key order is the stable
+// first-seen order, so aggregation over a deterministic sweep is itself
+// deterministic.
+func Aggregate(rs []*RunResult) []*exp.Result {
+	type group struct {
+		name string
+		keys []string
+		vals map[string][]float64
+		runs int
+	}
+	var order []string
+	groups := make(map[string]*group)
+	for _, r := range rs {
+		if r == nil || r.Err != nil {
+			continue
+		}
+		for _, res := range r.Results {
+			g, ok := groups[res.Name]
+			if !ok {
+				g = &group{name: res.Name, vals: make(map[string][]float64)}
+				groups[res.Name] = g
+				order = append(order, res.Name)
+			}
+			g.runs++
+			keys := make([]string, 0, len(res.Scalars))
+			for k := range res.Scalars {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				if _, seen := g.vals[k]; !seen {
+					g.keys = append(g.keys, k)
+				}
+				g.vals[k] = append(g.vals[k], res.Scalars[k])
+			}
+		}
+	}
+	var out []*exp.Result
+	for _, name := range order {
+		g := groups[name]
+		agg := exp.NewResult(fmt.Sprintf("%s-agg-%druns", name, g.runs))
+		for _, k := range g.keys {
+			st := Fold(g.vals[k])
+			agg.Scalars[k+" mean"] = st.Mean
+			agg.AddNote("%-40s min=%-12.4g mean=%-12.4g max=%-12.4g p50=%-12.4g p95=%.4g (n=%d)",
+				k, st.Min, st.Mean, st.Max, st.P50, st.P95, st.N)
+		}
+		out = append(out, agg)
+	}
+	return out
+}
+
+// Errors returns the failed runs (panics, cancellations).
+func Errors(rs []*RunResult) []*RunResult {
+	var out []*RunResult
+	for _, r := range rs {
+		if r != nil && r.Err != nil {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// WriteJSON serializes the sweep — per-run spec, wall time, error and
+// full results — as one JSON document. Per-run result payloads reuse
+// exp.Result's deterministic encoding, so two sweeps over the same specs
+// differ only in the wall-clock fields.
+func WriteJSON(w io.Writer, rs []*RunResult) error {
+	type runJSON struct {
+		Spec    Spec              `json:"spec"`
+		WallMs  float64           `json:"wall_ms"`
+		Error   string            `json:"error,omitempty"`
+		Results []json.RawMessage `json:"results,omitempty"`
+	}
+	out := make([]runJSON, 0, len(rs))
+	for _, r := range rs {
+		rj := runJSON{Spec: r.Spec, WallMs: float64(r.Wall.Microseconds()) / 1000}
+		if r.Err != nil {
+			rj.Error = r.Err.Error()
+		}
+		for _, res := range r.Results {
+			var sb jsonBuf
+			if err := res.WriteJSON(&sb); err != nil {
+				return err
+			}
+			rj.Results = append(rj.Results, json.RawMessage(sb))
+		}
+		out = append(out, rj)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+type jsonBuf []byte
+
+func (b *jsonBuf) Write(p []byte) (int, error) {
+	*b = append(*b, p...)
+	return len(p), nil
+}
+
+// WriteCSV exports every scalar of every successful run as long-format
+// CSV (one row per spec × result × scalar), the shape plotting scripts
+// and spreadsheets ingest directly.
+func WriteCSV(w io.Writer, rs []*RunResult) error {
+	if _, err := io.WriteString(w, "exp,fabric,det,cc,seed,result,scalar,value\n"); err != nil {
+		return err
+	}
+	for _, r := range rs {
+		if r.Err != nil {
+			continue
+		}
+		for _, res := range r.Results {
+			keys := make([]string, 0, len(res.Scalars))
+			for k := range res.Scalars {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				_, err := fmt.Fprintf(w, "%s,%s,%s,%s,%d,%s,%q,%g\n",
+					r.Spec.Exp, r.Spec.Fabric, r.Spec.Det, r.Spec.CC, r.Spec.Seed,
+					res.Name, k, res.Scalars[k])
+				if err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

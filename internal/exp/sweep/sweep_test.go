@@ -1,0 +1,205 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"github.com/tcdnet/tcd/internal/exp"
+	"github.com/tcdnet/tcd/internal/units"
+)
+
+// observeRun is a reduced-scale §3.1 observation run — heavy enough to
+// exercise the full simulator stack, light enough for the race detector.
+func observeRun(s Spec) []*exp.Result {
+	cfg := exp.DefaultObserveConfig(s.Fabric, s.Det, false)
+	cfg.Seed = s.Seed
+	cfg.Horizon = 2 * units.Millisecond
+	cfg.BurstRounds = 4
+	if s.Horizon > 0 {
+		cfg.Horizon = s.Horizon
+	}
+	return []*exp.Result{exp.Observe(cfg)}
+}
+
+func resultJSON(t *testing.T, rs []*RunResult) []string {
+	t.Helper()
+	var out []string
+	for _, r := range rs {
+		if r.Err != nil {
+			t.Fatalf("run %s failed: %v", r.Spec, r.Err)
+		}
+		for _, res := range r.Results {
+			var buf bytes.Buffer
+			if err := res.WriteJSON(&buf); err != nil {
+				t.Fatalf("WriteJSON: %v", err)
+			}
+			out = append(out, buf.String())
+		}
+	}
+	return out
+}
+
+// TestSerialParallelEquivalence is the engine's core guarantee: the same
+// grid run with one worker and with eight workers yields byte-identical
+// per-run Result JSON, in the same (spec) order.
+func TestSerialParallelEquivalence(t *testing.T) {
+	grid := Grid{
+		Exps:    []string{"observe"},
+		Fabrics: []exp.FabricKind{exp.CEE, exp.IB},
+		Dets:    []exp.DetectorKind{exp.DetBaseline},
+		Seeds:   Seq(1, 2),
+	}
+	specs := grid.Specs()
+	serial := Run(context.Background(), specs, observeRun, Options{Parallel: 1})
+	parallel := Run(context.Background(), specs, observeRun, Options{Parallel: 8})
+
+	sj, pj := resultJSON(t, serial), resultJSON(t, parallel)
+	if len(sj) != len(pj) {
+		t.Fatalf("result counts differ: serial %d, parallel %d", len(sj), len(pj))
+	}
+	for i := range sj {
+		if sj[i] != pj[i] {
+			t.Errorf("run %d (%s): serial and parallel Result JSON differ", i, specs[i])
+		}
+	}
+}
+
+func TestGridSpecsOrderAndDefaults(t *testing.T) {
+	g := Grid{
+		Exps:  []string{"a", "b"},
+		Seeds: []uint64{10, 11},
+	}
+	specs := g.Specs()
+	if len(specs) != 4 {
+		t.Fatalf("len(specs) = %d, want 4", len(specs))
+	}
+	want := []Spec{
+		{Exp: "a", Seed: 10}, {Exp: "a", Seed: 11},
+		{Exp: "b", Seed: 10}, {Exp: "b", Seed: 11},
+	}
+	for i := range want {
+		if specs[i] != want[i] {
+			t.Errorf("specs[%d] = %+v, want %+v", i, specs[i], want[i])
+		}
+	}
+}
+
+func TestPanicCapture(t *testing.T) {
+	specs := Grid{Exps: []string{"x"}, Seeds: Seq(0, 4)}.Specs()
+	fn := func(s Spec) []*exp.Result {
+		if s.Seed == 2 {
+			panic("diverged")
+		}
+		r := exp.NewResult("ok")
+		r.Scalars["seed"] = float64(s.Seed)
+		return []*exp.Result{r}
+	}
+	rs := Run(context.Background(), specs, fn, Options{Parallel: 4})
+	errs := Errors(rs)
+	if len(errs) != 1 {
+		t.Fatalf("Errors() = %d failed runs, want 1", len(errs))
+	}
+	if errs[0].Spec.Seed != 2 {
+		t.Errorf("failed seed = %d, want 2", errs[0].Spec.Seed)
+	}
+	if msg := errs[0].Err.Error(); !strings.Contains(msg, "diverged") || !strings.Contains(msg, "sweep_test.go") {
+		t.Errorf("panic error lacks message or stack: %q", msg)
+	}
+	for _, r := range rs {
+		if r.Spec.Seed != 2 && (r.Err != nil || len(r.Results) != 1) {
+			t.Errorf("run seed=%d was disturbed by the panicking run: %+v", r.Spec.Seed, r)
+		}
+	}
+}
+
+func TestCancellationSkipsPendingRuns(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	specs := Grid{Exps: []string{"x"}, Seeds: Seq(0, 8)}.Specs()
+	ran := 0
+	fn := func(s Spec) []*exp.Result {
+		ran++
+		cancel() // cancel after the first run starts (Parallel=1: serialized)
+		return []*exp.Result{exp.NewResult("ok")}
+	}
+	rs := Run(ctx, specs, fn, Options{Parallel: 1})
+	if ran == len(specs) {
+		t.Fatal("cancellation did not skip any runs")
+	}
+	skipped := Errors(rs)
+	if len(skipped) != len(specs)-ran {
+		t.Errorf("skipped %d runs, want %d", len(skipped), len(specs)-ran)
+	}
+	for _, r := range skipped {
+		if r.Err != context.Canceled {
+			t.Errorf("skipped run error = %v, want context.Canceled", r.Err)
+		}
+	}
+}
+
+func TestAggregateFoldsAcrossSeeds(t *testing.T) {
+	mk := func(seed uint64, v float64) *RunResult {
+		r := exp.NewResult("obs")
+		r.Scalars["metric"] = v
+		return &RunResult{Spec: Spec{Seed: seed}, Results: []*exp.Result{r}}
+	}
+	rs := []*RunResult{mk(1, 1), mk(2, 3), mk(3, 2), {Spec: Spec{Seed: 4}, Err: context.Canceled}}
+	aggs := Aggregate(rs)
+	if len(aggs) != 1 {
+		t.Fatalf("len(aggs) = %d, want 1", len(aggs))
+	}
+	agg := aggs[0]
+	if agg.Name != "obs-agg-3runs" {
+		t.Errorf("agg name = %q", agg.Name)
+	}
+	if got := agg.Scalars["metric mean"]; got != 2 {
+		t.Errorf("mean = %g, want 2", got)
+	}
+	if len(agg.Notes) != 1 || !strings.Contains(agg.Notes[0], "min=1") || !strings.Contains(agg.Notes[0], "max=3") {
+		t.Errorf("notes = %v", agg.Notes)
+	}
+}
+
+func TestFoldStats(t *testing.T) {
+	st := Fold([]float64{5, 1, 3, 2, 4})
+	if st.N != 5 || st.Min != 1 || st.Max != 5 || st.Mean != 3 || st.P50 != 3 {
+		t.Errorf("Fold = %+v", st)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	r := exp.NewResult("obs")
+	r.Scalars["m"] = 1.5
+	rs := []*RunResult{{
+		Spec:    Spec{Exp: "fig3", Fabric: exp.CEE, Det: exp.DetBaseline, CC: exp.CCDCQCN, Seed: 7},
+		Results: []*exp.Result{r},
+	}}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, rs); err != nil {
+		t.Fatal(err)
+	}
+	want := "exp,fabric,det,cc,seed,result,scalar,value\nfig3,cee,baseline,dcqcn,7,obs,\"m\",1.5\n"
+	if buf.String() != want {
+		t.Errorf("CSV = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestWriteJSONIncludesErrors(t *testing.T) {
+	ok := exp.NewResult("obs")
+	ok.Scalars["m"] = 1
+	rs := []*RunResult{
+		{Spec: Spec{Exp: "a"}, Results: []*exp.Result{ok}},
+		{Spec: Spec{Exp: "b"}, Err: context.Canceled},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, rs); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, want := range []string{`"exp": "a"`, `"name": "obs"`, `"error": "context canceled"`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("sweep JSON missing %q:\n%s", want, s)
+		}
+	}
+}

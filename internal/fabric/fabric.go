@@ -221,6 +221,15 @@ type Port struct {
 	src     Source
 	wakeAt  units.Time
 
+	// Per-port scratch, preallocated at creation so the transmit hot path
+	// schedules no fresh closures: txPkt is the packet currently being
+	// serialized (a port serializes one packet at a time), txDoneFn the
+	// serialization-complete callback, wakeFn the source-wake callback
+	// (validated against wakeAt, so stale wakes are no-ops).
+	txPkt    *packet.Packet
+	txDoneFn func()
+	wakeFn   func()
+
 	// Ingress.
 	meter RxMeter
 
@@ -513,15 +522,20 @@ func (p *Port) scheduleWake(at units.Time) {
 		return
 	}
 	p.wakeAt = at
-	p.net.Sched.At(at, func() {
-		if p.wakeAt != at {
-			return
-		}
-		p.wakeAt = 0
-		if !p.busy {
-			p.tryTransmit()
-		}
-	})
+	p.net.Sched.At(at, p.wakeFn)
+}
+
+// wake runs a scheduled source wake. A wake is stale — superseded by a
+// later scheduleWake or already consumed — unless it fires exactly at the
+// currently armed time.
+func (p *Port) wake() {
+	if p.wakeAt != p.net.Sched.Now() {
+		return
+	}
+	p.wakeAt = 0
+	if !p.busy {
+		p.tryTransmit()
+	}
 }
 
 // transmit serializes pkt onto the wire. fromQueue distinguishes switch
@@ -556,22 +570,29 @@ func (p *Port) transmit(pkt *packet.Packet, fromQueue bool) {
 	if pkt.Kind == packet.Data {
 		p.TxDataBytes += pkt.Size
 	}
-	inPort := pkt.InPort
-	isSwitch := p.node.kind == topo.Switch
-	p.net.Sched.At(p.busyEnd, func() {
-		p.busy = false
-		// The packet has fully left this node: release ingress accounting.
-		if isSwitch && inPort >= 0 {
-			ing := p.node.ports[inPort]
-			if ing.meter != nil {
-				ing.meter.OnFree(p.net.Sched.Now(), pkt)
-			}
+	p.txPkt = pkt
+	p.net.Sched.At(p.busyEnd, p.txDoneFn)
+}
+
+// txDone completes a serialization: release ingress accounting, put the
+// packet on the wire, start the next transmission.
+func (p *Port) txDone() {
+	pkt := p.txPkt
+	p.txPkt = nil
+	p.busy = false
+	// The packet has fully left this node: release ingress accounting.
+	if p.node.kind == topo.Switch && pkt.InPort >= 0 {
+		ing := p.node.ports[pkt.InPort]
+		if ing.meter != nil {
+			ing.meter.OnFree(p.net.Sched.Now(), pkt)
 		}
-		// Propagate to the peer.
-		peer := p.Peer
-		p.net.Sched.After(p.Delay, func() { peer.receive(pkt) })
-		p.tryTransmit()
-	})
+	}
+	// Propagate to the peer. The closure is per-packet: several packets
+	// can be in flight on one link (propagation delay exceeding the
+	// serialization time), so the arrival cannot live in port scratch.
+	peer := p.Peer
+	p.net.Sched.After(p.Delay, func() { peer.receive(pkt) })
+	p.tryTransmit()
 }
 
 // receive handles a packet arriving from the wire at this (ingress) port.
@@ -589,6 +610,9 @@ func (p *Port) receive(pkt *packet.Packet) {
 		if p.net.Sink != nil {
 			p.net.Sink(n.id, pkt)
 		}
+		// The packet is dead: recycle it. Sinks must copy what they need
+		// before returning; the next NewPacket may reuse this struct.
+		p.net.pool.Put(pkt)
 		return
 	}
 	pkt.InPort = int32(p.Index)
@@ -627,6 +651,9 @@ type Network struct {
 	ports []*Port
 	// portAt[linkIdx] = [2]*Port: side A, side B.
 	portAt [][2]*Port
+	// pool recycles packets within this single-threaded run: packets die
+	// at host sinks, where receive returns them for reuse by NewPacket.
+	pool packet.Pool
 
 	// Route picks the egress port for pkt at switch sw. It must be set
 	// before traffic flows.
@@ -666,6 +693,8 @@ func New(s *sim.Scheduler, t *topo.Topology, cfg Config) *Network {
 				dets:    make([]Detector, cfg.Priorities),
 				blocked: make([]bool, cfg.Priorities),
 			}
+			p.txDoneFn = p.txDone
+			p.wakeFn = p.wake
 			nd.ports = append(nd.ports, p)
 			n.ports = append(n.ports, p)
 			return p
@@ -679,6 +708,19 @@ func New(s *sim.Scheduler, t *topo.Topology, cfg Config) *Network {
 
 // Config returns the fabric configuration.
 func (n *Network) Config() Config { return n.cfg }
+
+// NewPacket returns a zeroed packet from the run's free list. Callers
+// (host NICs) fill the fields; the fabric recycles the packet when it
+// dies at a host sink.
+func (n *Network) NewPacket() *packet.Packet { return n.pool.Get() }
+
+// FreePacket recycles a packet that will never enter the fabric (e.g. a
+// cached NIC head that was discarded before transmission). The caller
+// must drop every reference.
+func (n *Network) FreePacket(pkt *packet.Packet) { n.pool.Put(pkt) }
+
+// PacketsRecycled reports how many dead packets the run reused.
+func (n *Network) PacketsRecycled() uint64 { return n.pool.Recycled }
 
 // Ports returns all ports (both sides of every link).
 func (n *Network) Ports() []*Port { return n.ports }

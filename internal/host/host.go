@@ -224,18 +224,28 @@ func (ep *Endpoint) Head(now units.Time) (*packet.Packet, units.Time) {
 		}
 	}
 	if best == nil {
-		ep.headPkt, ep.headFlow = nil, nil
+		ep.dropHead()
 		return nil, units.Forever
 	}
 	if best.nextAt > now {
-		ep.headPkt, ep.headFlow = nil, nil
+		ep.dropHead()
 		return nil, best.nextAt
 	}
 	if ep.headFlow != best || ep.headPkt == nil {
+		ep.dropHead()
 		ep.headPkt = ep.buildData(best)
 		ep.headFlow = best
 	}
 	return ep.headPkt, best.nextAt
+}
+
+// dropHead discards the cached head packet, recycling it — it was never
+// transmitted, so nothing else references it.
+func (ep *Endpoint) dropHead() {
+	if ep.headPkt != nil {
+		ep.mgr.net.FreePacket(ep.headPkt)
+	}
+	ep.headPkt, ep.headFlow = nil, nil
 }
 
 func (ep *Endpoint) buildData(sf *senderFlow) *packet.Packet {
@@ -247,19 +257,19 @@ func (ep *Endpoint) buildData(sf *senderFlow) *packet.Packet {
 	if ep.mgr.cfg.NotCapable {
 		code = packet.NotCapable
 	}
-	return &packet.Packet{
-		Flow:     sf.flow.ID,
-		Src:      ep.id,
-		Dst:      sf.flow.Dst,
-		Kind:     packet.Data,
-		Size:     payload + packet.HeaderBytes,
-		Payload:  payload,
-		Seq:      sf.seq,
-		Last:     payload == sf.remaining,
-		Priority: sf.flow.Priority,
-		Code:     code,
-		InPort:   -1,
-	}
+	pkt := ep.mgr.net.NewPacket()
+	pkt.Flow = sf.flow.ID
+	pkt.Src = ep.id
+	pkt.Dst = sf.flow.Dst
+	pkt.Kind = packet.Data
+	pkt.Size = payload + packet.HeaderBytes
+	pkt.Payload = payload
+	pkt.Seq = sf.seq
+	pkt.Last = payload == sf.remaining
+	pkt.Priority = sf.flow.Priority
+	pkt.Code = code
+	pkt.InPort = -1
+	return pkt
 }
 
 // Advance implements fabric.Source.
@@ -311,7 +321,7 @@ func (ep *Endpoint) ActiveFlows() int { return len(ep.active) }
 func (ep *Endpoint) pushCtrl(p *packet.Packet) {
 	ep.ctrlQ = append(ep.ctrlQ, p)
 	// A newly queued control packet preempts a cached data head.
-	ep.headPkt, ep.headFlow = nil, nil
+	ep.dropHead()
 	ep.port.Kick()
 }
 
@@ -355,19 +365,19 @@ func (m *Manager) onData(ep *Endpoint, f *Flow, pkt *packet.Packet, now units.Ti
 		}
 	}
 	if m.cfg.AckEveryPacket {
-		ep.pushCtrl(&packet.Packet{
-			Flow:     f.ID,
-			Src:      ep.id,
-			Dst:      f.Src,
-			Kind:     packet.Ack,
-			Size:     packet.AckBytes,
-			Priority: f.Priority,
-			Code:     packet.Capable,
-			EchoCE:   ce,
-			EchoUE:   ue,
-			SentAt:   pkt.SentAt, // echo for RTT measurement
-			InPort:   -1,
-		})
+		ack := m.net.NewPacket()
+		ack.Flow = f.ID
+		ack.Src = ep.id
+		ack.Dst = f.Src
+		ack.Kind = packet.Ack
+		ack.Size = packet.AckBytes
+		ack.Priority = f.Priority
+		ack.Code = packet.Capable
+		ack.EchoCE = ce
+		ack.EchoUE = ue
+		ack.SentAt = pkt.SentAt // echo for RTT measurement
+		ack.InPort = -1
+		ep.pushCtrl(ack)
 	}
 	// Congestion notification point: echo CE (and UE, for TCD-aware
 	// transports) back to the reaction point, rate-limited per flow.
@@ -391,18 +401,18 @@ func (m *Manager) recordCNP(now units.Time, f *Flow, echo int64) {
 }
 
 func (m *Manager) cnp(from packet.NodeID, f *Flow, ce, ue bool) *packet.Packet {
-	return &packet.Packet{
-		Flow:     f.ID,
-		Src:      from,
-		Dst:      f.Src,
-		Kind:     packet.CNP,
-		Size:     packet.CNPBytes,
-		Priority: f.Priority,
-		Code:     packet.Capable,
-		EchoCE:   ce,
-		EchoUE:   ue,
-		InPort:   -1,
-	}
+	pkt := m.net.NewPacket()
+	pkt.Flow = f.ID
+	pkt.Src = from
+	pkt.Dst = f.Src
+	pkt.Kind = packet.CNP
+	pkt.Size = packet.CNPBytes
+	pkt.Priority = f.Priority
+	pkt.Code = packet.Capable
+	pkt.EchoCE = ce
+	pkt.EchoUE = ue
+	pkt.InPort = -1
+	return pkt
 }
 
 // IdealFCT reports the store-and-forward baseline completion time for a

@@ -145,5 +145,42 @@ const HeaderBytes units.ByteSize = 48
 // AckBytes is the wire size of an acknowledgement.
 const AckBytes units.ByteSize = 64
 
+// Pool is a packet free list for one simulation run. Packets die at the
+// sinks (every packet is eventually consumed by a host), so within a
+// single-threaded run the fabric can recycle them instead of discarding
+// ~one allocation per packet per run. A Pool must not be shared between
+// concurrently running simulations; parallel sweeps give each run its own
+// network and therefore its own pool.
+type Pool struct {
+	free []*Packet
+	// Recycled counts Put calls, for instrumentation.
+	Recycled uint64
+}
+
+// Get returns a zeroed packet, reusing a recycled one when available.
+func (p *Pool) Get() *Packet {
+	if n := len(p.free); n > 0 {
+		pkt := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		*pkt = Packet{}
+		return pkt
+	}
+	return &Packet{}
+}
+
+// Put recycles a dead packet. The caller must not touch pkt afterwards:
+// the next Get may hand it to an unrelated flow.
+func (p *Pool) Put(pkt *Packet) {
+	if pkt == nil {
+		return
+	}
+	p.free = append(p.free, pkt)
+	p.Recycled++
+}
+
+// Len reports the number of packets currently parked in the pool.
+func (p *Pool) Len() int { return len(p.free) }
+
 // CNPBytes is the wire size of a congestion notification packet.
 const CNPBytes units.ByteSize = 64

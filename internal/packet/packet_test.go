@@ -94,3 +94,48 @@ func TestPacketString(t *testing.T) {
 		t.Errorf("String() = %q, want %q", got, want)
 	}
 }
+
+func TestPoolRecyclesAndZeroes(t *testing.T) {
+	var pool Pool
+	a := pool.Get()
+	a.Flow, a.Seq, a.Code, a.EchoCE, a.Hops = 7, 42, CE, true, 3
+	pool.Put(a)
+	if pool.Len() != 1 {
+		t.Fatalf("Len() = %d after Put, want 1", pool.Len())
+	}
+	b := pool.Get()
+	if b != a {
+		t.Error("Get did not reuse the recycled packet")
+	}
+	if *b != (Packet{}) {
+		t.Errorf("recycled packet not zeroed: %+v", *b)
+	}
+	if pool.Len() != 0 {
+		t.Errorf("Len() = %d after Get, want 0", pool.Len())
+	}
+	if pool.Recycled != 1 {
+		t.Errorf("Recycled = %d, want 1", pool.Recycled)
+	}
+}
+
+func TestPoolGetAllocatesWhenEmpty(t *testing.T) {
+	var pool Pool
+	a, b := pool.Get(), pool.Get()
+	if a == nil || b == nil || a == b {
+		t.Fatalf("empty pool must hand out distinct packets")
+	}
+	pool.Put(nil) // nil is a no-op, not a panic
+	if pool.Len() != 0 {
+		t.Errorf("Len() = %d after Put(nil), want 0", pool.Len())
+	}
+}
+
+func TestPoolSteadyStateAllocs(t *testing.T) {
+	var pool Pool
+	pool.Put(&Packet{})
+	if allocs := testing.AllocsPerRun(1000, func() {
+		pool.Put(pool.Get())
+	}); allocs > 0 {
+		t.Errorf("steady-state Get/Put allocates %.1f/op, want 0", allocs)
+	}
+}

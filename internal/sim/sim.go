@@ -48,6 +48,10 @@ type Scheduler struct {
 	now    units.Time
 	seq    uint64
 	events eventHeap
+	// free recycles executed event structs: the steady-state event cycle
+	// (pop, run, schedule) then allocates nothing. Recycled events carry a
+	// nil fn so the free list never retains closures.
+	free []*event
 	// processed counts executed events, for instrumentation.
 	processed uint64
 	stopped   bool
@@ -71,7 +75,27 @@ func (s *Scheduler) At(t units.Time, fn func()) {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
 	}
 	s.seq++
-	heap.Push(&s.events, &event{at: t, seq: s.seq, fn: fn})
+	e := s.newEvent()
+	e.at, e.seq, e.fn = t, s.seq, fn
+	heap.Push(&s.events, e)
+}
+
+// newEvent takes an event struct from the free list, or allocates one.
+func (s *Scheduler) newEvent() *event {
+	if n := len(s.free); n > 0 {
+		e := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		return e
+	}
+	return &event{}
+}
+
+// recycle returns an executed event to the free list, dropping its
+// closure so the list holds only inert structs.
+func (s *Scheduler) recycle(e *event) {
+	e.fn = nil
+	s.free = append(s.free, e)
 }
 
 // After schedules fn to run d after the current time.
@@ -82,11 +106,26 @@ func (s *Scheduler) After(d units.Time, fn func()) {
 	s.At(s.now+d, fn)
 }
 
-// Stop makes Run/RunUntil return after the current event completes.
-func (s *Scheduler) Stop() { s.stopped = true }
+// Stop makes Run/RunUntil return after the current event completes and
+// drains the heap: every pending event (and its closure) is discarded, so
+// a stopped scheduler retains nothing. Long sweeps run thousands of
+// schedulers back to back; without the drain each stopped run would pin
+// its undelivered closures (and everything they capture) until the whole
+// sweep finished.
+func (s *Scheduler) Stop() {
+	s.stopped = true
+	for _, e := range s.events {
+		s.recycle(e)
+	}
+	s.events = s.events[:0]
+}
 
 // Pending reports the number of queued events.
 func (s *Scheduler) Pending() int { return len(s.events) }
+
+// Len reports the number of queued events (alias of Pending, matching
+// the container-style accessor sweeps and tests expect).
+func (s *Scheduler) Len() int { return len(s.events) }
 
 // Run executes events until the queue is empty or Stop is called.
 func (s *Scheduler) Run() {
@@ -107,7 +146,11 @@ func (s *Scheduler) RunUntil(deadline units.Time) {
 		heap.Pop(&s.events)
 		s.now = next.at
 		s.processed++
-		next.fn()
+		fn := next.fn
+		// Recycle before running: events scheduled by fn can reuse the
+		// struct immediately, keeping the hot loop allocation-free.
+		s.recycle(next)
+		fn()
 	}
 	if deadline != units.Forever && s.now < deadline {
 		s.now = deadline

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"runtime"
 	"testing"
 
 	"github.com/tcdnet/tcd/internal/units"
@@ -115,10 +116,81 @@ func TestStop(t *testing.T) {
 	if count != 3 {
 		t.Errorf("ran %d events after Stop, want 3", count)
 	}
-	// Run resumes after a Stop.
+	// Stop drains the heap: the remaining events are discarded, and a
+	// subsequent Run has nothing to execute.
+	if s.Len() != 0 {
+		t.Errorf("Len() = %d after Stop, want 0 (heap drained)", s.Len())
+	}
 	s.Run()
-	if count != 10 {
-		t.Errorf("ran %d events total, want 10", count)
+	if count != 3 {
+		t.Errorf("ran %d events total after resumed Run, want 3 (drained)", count)
+	}
+}
+
+func TestLenTracksQueue(t *testing.T) {
+	s := New()
+	if s.Len() != 0 {
+		t.Fatalf("empty scheduler Len() = %d, want 0", s.Len())
+	}
+	for i := 1; i <= 5; i++ {
+		s.At(units.Time(i*10), func() {})
+	}
+	if s.Len() != 5 || s.Pending() != 5 {
+		t.Fatalf("Len() = %d, Pending() = %d, want 5, 5", s.Len(), s.Pending())
+	}
+	s.RunUntil(30)
+	if s.Len() != 2 {
+		t.Errorf("Len() = %d after RunUntil(30), want 2", s.Len())
+	}
+	s.Run()
+	if s.Len() != 0 {
+		t.Errorf("Len() = %d after Run, want 0", s.Len())
+	}
+}
+
+// TestStopReleasesClosures verifies the drain actually lets the captured
+// state go: a finalizer on a pinned allocation must run after Stop plus GC.
+func TestStopReleasesClosures(t *testing.T) {
+	s := New()
+	released := make(chan struct{})
+	func() {
+		pinned := new([1 << 16]byte)
+		runtime.SetFinalizer(pinned, func(*[1 << 16]byte) { close(released) })
+		s.At(units.Forever-1, func() { _ = pinned[0] })
+	}()
+	s.At(1, func() { s.Stop() })
+	s.RunUntil(10)
+	for i := 0; i < 10; i++ {
+		runtime.GC()
+		select {
+		case <-released:
+			return
+		default:
+		}
+	}
+	t.Error("pending closure still retained after Stop + GC")
+}
+
+// TestSchedulerSteadyStateAllocs is the allocation-budget gate for the
+// event free list: once the heap and the free list are warm, one
+// schedule-pop-run cycle must not allocate at all.
+func TestSchedulerSteadyStateAllocs(t *testing.T) {
+	const budget = 0.0
+	s := New()
+	var tick func()
+	tick = func() {
+		if s.Now() < 1<<40 {
+			s.After(1, tick)
+		}
+	}
+	// Warm up: fill the free list and the heap's capacity.
+	s.At(0, func() { s.After(1, tick) })
+	s.RunUntil(100)
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.RunUntil(s.Now() + 1)
+	})
+	if allocs > budget {
+		t.Errorf("steady-state event cycle allocates %.1f/op, budget %.1f", allocs, budget)
 	}
 }
 

@@ -1,0 +1,14 @@
+#!/bin/sh
+# bench.sh — run the benchmark-regression harness and write BENCH_<rev>.json
+# for the current checkout. CI runs the same harness on every push; diff two
+# BENCH_*.json files to see the perf trajectory between revisions.
+#
+# Usage: scripts/bench.sh [output-dir]
+set -eu
+
+cd "$(dirname "$0")/.."
+out="${1:-.}"
+rev="$(git rev-parse --short HEAD 2>/dev/null || echo dev)"
+
+go run ./cmd/tcdsim -bench-json "${out}/BENCH_${rev}.json" -bench-rev "${rev}"
+echo "wrote ${out}/BENCH_${rev}.json"
