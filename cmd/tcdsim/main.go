@@ -16,6 +16,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -255,19 +256,20 @@ func main() {
 		doSweep  = flag.Bool("sweep", false, "run the multi-seed sweep engine even for -runs 1")
 		parallel = flag.Int("parallel", 0, "sweep worker count (0 = GOMAXPROCS); runs stay deterministic per seed")
 
-		traceOut   = flag.String("trace-out", "", "write the structured event trace as JSONL to this file (observation experiments)")
-		traceCap   = flag.Int("trace-cap", obs.DefaultRingCap, "event-trace ring capacity; oldest events drop beyond it")
-		metricsOut = flag.String("metrics-out", "", "write the labeled metrics registry as JSON to this file")
-		progress   = flag.Bool("progress", false, "print sim-vs-wall progress lines to stderr during the run")
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
-		jsonOut    = flag.String("json", "", `serialize results as JSON to this file ("-" for stdout)`)
-		benchJSON  = flag.String("bench-json", "", "run the benchmark-regression harness and write its JSON report to this file")
-		benchRev   = flag.String("bench-rev", "dev", "revision label embedded in the -bench-json report")
+		traceOut     = flag.String("trace-out", "", "write the structured event trace as JSONL to this file (observation experiments)")
+		traceCap     = flag.Int("trace-cap", obs.DefaultRingCap, "event-trace ring capacity; oldest events drop beyond it")
+		metricsOut   = flag.String("metrics-out", "", "write the labeled metrics registry as JSON to this file")
+		progress     = flag.Bool("progress", false, "print sim-vs-wall progress lines to stderr during the run")
+		cpuprofile   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		jsonOut      = flag.String("json", "", `serialize results as JSON to this file ("-" for stdout)`)
+		benchJSON    = flag.String("bench-json", "", "run the benchmark-regression harness and write its JSON report to this file")
+		benchRev     = flag.String("bench-rev", "dev", "revision label embedded in the -bench-json report")
+		benchAgainst = flag.String("bench-against", "", "prior BENCH_*.json report to guard against; exit 1 on >15% fig3 ns/op or allocs/op regression")
 	)
 	flag.Parse()
 
 	if *benchJSON != "" {
-		runBench(*benchJSON, *benchRev)
+		runBench(*benchJSON, *benchRev, *benchAgainst)
 		return
 	}
 
@@ -492,8 +494,10 @@ func exportSweepCSV(dir string, rs []*sweep.RunResult) error {
 }
 
 // runBench executes the benchmark-regression harness and writes
-// BENCH-style JSON to path ("-" for stdout).
-func runBench(path, rev string) {
+// BENCH-style JSON to path ("-" for stdout). When against names a prior
+// report, the guarded fig3 cases are compared and a >15% regression on
+// ns/op or allocs/op fails the run.
+func runBench(path, rev, against string) {
 	rep := bench.Run(bench.Config{Rev: rev})
 	write := func(w io.Writer) error { return rep.WriteJSON(w) }
 	var err error
@@ -508,6 +512,34 @@ func runBench(path, rev string) {
 	}
 	fmt.Fprintf(os.Stderr, "bench: %d cases, sweep speedup %.2fx (%d workers) -> %s\n",
 		len(rep.Cases), rep.Sweep.Speedup, rep.Sweep.Parallel, path)
+	if against != "" {
+		guardBench(rep, against)
+	}
+}
+
+// guardBench compares rep against the prior report at path and exits
+// non-zero on regression. A missing or unreadable prior report skips
+// the guard (first run on a fresh branch must not fail).
+func guardBench(rep *bench.Report, path string) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: no prior report at %s, skipping regression guard (%v)\n", path, err)
+		return
+	}
+	var prev bench.Report
+	if err := json.Unmarshal(data, &prev); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: prior report %s unreadable, skipping regression guard (%v)\n", path, err)
+		return
+	}
+	regs := bench.Compare(&prev, rep, 0.15)
+	if len(regs) == 0 {
+		fmt.Fprintf(os.Stderr, "bench: no regression vs %s (rev %s)\n", path, prev.Rev)
+		return
+	}
+	for _, r := range regs {
+		fmt.Fprintf(os.Stderr, "bench: REGRESSION: %s\n", r)
+	}
+	os.Exit(1)
 }
 
 // exportFile writes via fn into path, creating it.

@@ -10,6 +10,7 @@ package bench
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"runtime"
 	"time"
@@ -17,6 +18,8 @@ import (
 	"github.com/tcdnet/tcd/internal/exp"
 	"github.com/tcdnet/tcd/internal/exp/sweep"
 	"github.com/tcdnet/tcd/internal/obs"
+	"github.com/tcdnet/tcd/internal/rng"
+	"github.com/tcdnet/tcd/internal/sim"
 	"github.com/tcdnet/tcd/internal/units"
 )
 
@@ -139,6 +142,115 @@ func observeCase(name string, kind exp.FabricKind, det exp.DetectorKind, horizon
 	})
 }
 
+// schedCase measures the event queue in isolation at a fixed depth: a
+// churn loop of push, pop, cancel and reschedule against a scheduler
+// preloaded with depth pending events. EventsPerSec counts queue
+// operations, so the BENCH trajectory tracks the raw heap cost
+// independently of the fabric and host layers riding on it.
+func schedCase(name string, depth, iters int) Case {
+	const span = 1 << 30 // spread of pending fire times, in sim time units
+	const churn = 100000
+	return measure(name, iters, func() (uint64, map[string]float64) {
+		r := rng.New(11)
+		s := sim.New()
+		ids := make([]sim.EventID, depth)
+		// Every event re-pushes itself when it fires, carrying its slot
+		// in a preallocated pointer arg, so the queue holds exactly
+		// depth events throughout and pops are matched by pushes.
+		type slot struct{ i int }
+		slots := make([]slot, depth)
+		var refill func(any)
+		refill = func(a any) {
+			sl := a.(*slot)
+			ids[sl.i] = s.AtArg(s.Now()+1+units.Time(r.Intn(span)), refill, a)
+		}
+		for i := range ids {
+			slots[i].i = i
+			ids[i] = s.AtArg(units.Time(1+r.Intn(span)), refill, &slots[i])
+		}
+		ops := uint64(depth)
+		gap := units.Time(span / depth)
+		for k := 0; k < churn; k++ {
+			switch k & 3 {
+			case 0: // reschedule a live handle in place
+				j := r.Intn(depth)
+				s.Reschedule(ids[j], s.Now()+1+units.Time(r.Intn(span)))
+				ops++
+			case 1: // cancel + fresh push
+				j := r.Intn(depth)
+				s.Cancel(ids[j])
+				ids[j] = s.AtArg(s.Now()+1+units.Time(r.Intn(span)), refill, &slots[j])
+				ops += 2
+			default: // advance: pops ~1 event, which re-pushes itself
+				s.RunUntil(s.Now() + gap)
+			}
+		}
+		ops += 2 * s.Processed() // each pop came with a matching refill push
+		s.Stop()
+		return ops, map[string]float64{"depth": float64(depth), "processed": float64(s.Processed())}
+	})
+}
+
+// Regression is one guard violation found by Compare.
+type Regression struct {
+	Case   string  `json:"case"`
+	Metric string  `json:"metric"`
+	Prev   float64 `json:"prev"`
+	Cur    float64 `json:"cur"`
+	Ratio  float64 `json:"ratio"`
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s %s regressed %.1f%%: %.0f -> %.0f",
+		r.Case, r.Metric, (r.Ratio-1)*100, r.Prev, r.Cur)
+}
+
+// GuardCases are the end-to-end cases the CI regression guard compares
+// across revisions (the fig3 single-congestion-point runs).
+var GuardCases = []string{"observe-cee-baseline", "observe-ib-baseline"}
+
+// Compare checks cur against prev for the guard cases and returns the
+// ns/op and allocs/op regressions exceeding tol (0.15 = fail above
+// +15%). Cases missing from either report are skipped, so reports from
+// older revisions with fewer cases still guard what they have.
+func Compare(prev, cur *Report, tol float64) []Regression {
+	prevByName := make(map[string]*Case, len(prev.Cases))
+	for i := range prev.Cases {
+		prevByName[prev.Cases[i].Name] = &prev.Cases[i]
+	}
+	var regs []Regression
+	for _, name := range GuardCases {
+		p := prevByName[name]
+		if p == nil {
+			continue
+		}
+		for i := range cur.Cases {
+			c := &cur.Cases[i]
+			if c.Name != name {
+				continue
+			}
+			for _, m := range []struct {
+				metric    string
+				prev, cur float64
+			}{
+				{"ns_per_op", p.NsPerOp, c.NsPerOp},
+				{"allocs_per_op", p.AllocsPerOp, c.AllocsPerOp},
+			} {
+				if m.prev <= 0 {
+					continue
+				}
+				if ratio := m.cur / m.prev; ratio > 1+tol {
+					regs = append(regs, Regression{
+						Case: name, Metric: m.metric,
+						Prev: m.prev, Cur: m.cur, Ratio: ratio,
+					})
+				}
+			}
+		}
+	}
+	return regs
+}
+
 // Run executes the harness and returns the report.
 func Run(cfg Config) *Report {
 	cfg.fill()
@@ -157,6 +269,9 @@ func Run(cfg Config) *Report {
 			res, _ := exp.Table3(cfg.Horizon, 42)
 			return 0, map[string]float64{"TCD (CEE)": res.Scalars["TCD (CEE)"]}
 		}),
+		schedCase("sched-depth-1k", 1<<10, cfg.Iters),
+		schedCase("sched-depth-16k", 1<<14, cfg.Iters),
+		schedCase("sched-depth-256k", 1<<18, cfg.Iters),
 	)
 	r.Sweep = speedupSweep(cfg)
 	return r

@@ -21,7 +21,10 @@ func TestRunProducesReport(t *testing.T) {
 	if r.Rev != "test" || r.GoVersion == "" || r.NumCPU <= 0 || r.GoMaxProcs <= 0 {
 		t.Fatalf("report header incomplete: %+v", r)
 	}
-	wantCases := []string{"observe-cee-baseline", "observe-cee-tcd", "observe-ib-baseline", "table3"}
+	wantCases := []string{
+		"observe-cee-baseline", "observe-cee-tcd", "observe-ib-baseline", "table3",
+		"sched-depth-1k", "sched-depth-16k", "sched-depth-256k",
+	}
 	if len(r.Cases) != len(wantCases) {
 		t.Fatalf("got %d cases, want %d", len(r.Cases), len(wantCases))
 	}
@@ -33,7 +36,10 @@ func TestRunProducesReport(t *testing.T) {
 			t.Errorf("case %s has empty measurements: %+v", c.Name, c)
 		}
 	}
-	for _, c := range r.Cases[:3] { // observe cases wire a metrics registry
+	for _, c := range r.Cases {
+		if c.Name == "table3" {
+			continue // table3 does not wire a metrics registry
+		}
 		if c.EventsPerSec <= 0 {
 			t.Errorf("case %s missing events/sec", c.Name)
 		}
@@ -53,5 +59,41 @@ func TestRunProducesReport(t *testing.T) {
 	}
 	if back.Rev != "test" || len(back.Cases) != len(wantCases) {
 		t.Errorf("round-tripped report differs: %+v", back)
+	}
+}
+
+// TestCompareGuard pins the CI regression guard's semantics: >tol
+// regressions on ns/op or allocs/op of the guarded fig3 cases fail,
+// improvements and small wobble pass, and cases absent from the prior
+// report are skipped.
+func TestCompareGuard(t *testing.T) {
+	mk := func(ns, allocs float64) *Report {
+		return &Report{Cases: []Case{
+			{Name: "observe-cee-baseline", NsPerOp: ns, AllocsPerOp: allocs},
+			{Name: "observe-ib-baseline", NsPerOp: ns, AllocsPerOp: allocs},
+			{Name: "table3", NsPerOp: 1, AllocsPerOp: 1}, // never guarded
+		}}
+	}
+	prev := mk(1000, 500)
+
+	if regs := Compare(prev, mk(1100, 550), 0.15); len(regs) != 0 {
+		t.Errorf("+10%% wobble flagged as regression: %v", regs)
+	}
+	if regs := Compare(prev, mk(700, 100), 0.15); len(regs) != 0 {
+		t.Errorf("improvement flagged as regression: %v", regs)
+	}
+	regs := Compare(prev, mk(1200, 500), 0.15)
+	if len(regs) != 2 { // both guarded cases regress on ns/op
+		t.Fatalf("got %d regressions, want 2: %v", len(regs), regs)
+	}
+	if regs[0].Metric != "ns_per_op" || regs[0].Ratio < 1.19 || regs[0].Ratio > 1.21 {
+		t.Errorf("unexpected regression record: %+v", regs[0])
+	}
+	if regs := Compare(prev, mk(1000, 600), 0.15); len(regs) != 2 {
+		t.Errorf("allocs/op regression not caught: %v", regs)
+	}
+	// A prior report missing the guarded cases guards nothing.
+	if regs := Compare(&Report{}, mk(9999, 9999), 0.15); len(regs) != 0 {
+		t.Errorf("missing prior cases should be skipped: %v", regs)
 	}
 }

@@ -225,10 +225,16 @@ type Port struct {
 	// schedules no fresh closures: txPkt is the packet currently being
 	// serialized (a port serializes one packet at a time), txDoneFn the
 	// serialization-complete callback, wakeFn the source-wake callback
-	// (validated against wakeAt, so stale wakes are no-ops).
-	txPkt    *packet.Packet
-	txDoneFn func()
-	wakeFn   func()
+	// (validated against wakeAt, so stale wakes are no-ops). receiveFn
+	// and enqueueFn are the typed-arg event callbacks for the per-packet
+	// link-propagation and switch-forwarding delays: several packets can
+	// be in flight at once, so the packet travels as the event argument
+	// rather than in port scratch — and scheduling mints no closure.
+	txPkt     *packet.Packet
+	txDoneFn  func()
+	wakeFn    func()
+	receiveFn func(any)
+	enqueueFn func(any)
 
 	// Ingress.
 	meter RxMeter
@@ -587,11 +593,10 @@ func (p *Port) txDone() {
 			ing.meter.OnFree(p.net.Sched.Now(), pkt)
 		}
 	}
-	// Propagate to the peer. The closure is per-packet: several packets
-	// can be in flight on one link (propagation delay exceeding the
-	// serialization time), so the arrival cannot live in port scratch.
-	peer := p.Peer
-	p.net.Sched.After(p.Delay, func() { peer.receive(pkt) })
+	// Propagate to the peer: the packet rides the event as its argument
+	// (several packets can be in flight on one link at once), through the
+	// peer's preallocated receive callback — no per-packet closure.
+	p.net.Sched.AfterArg(p.Delay, p.Peer.receiveFn, pkt)
 	p.tryTransmit()
 }
 
@@ -630,7 +635,7 @@ func (p *Port) receive(pkt *packet.Packet) {
 		panic("fabric: Route returned a port of another node")
 	}
 	if p.net.cfg.SwitchDelay > 0 {
-		p.net.Sched.After(p.net.cfg.SwitchDelay, func() { out.Enqueue(pkt) })
+		p.net.Sched.AfterArg(p.net.cfg.SwitchDelay, out.enqueueFn, pkt)
 	} else {
 		out.Enqueue(pkt)
 	}
@@ -695,6 +700,8 @@ func New(s *sim.Scheduler, t *topo.Topology, cfg Config) *Network {
 			}
 			p.txDoneFn = p.txDone
 			p.wakeFn = p.wake
+			p.receiveFn = func(arg any) { p.receive(arg.(*packet.Packet)) }
+			p.enqueueFn = func(arg any) { p.Enqueue(arg.(*packet.Packet)) }
 			nd.ports = append(nd.ports, p)
 			n.ports = append(n.ports, p)
 			return p

@@ -358,3 +358,44 @@ func TestDeterministicRuns(t *testing.T) {
 		t.Errorf("runs diverged: (%v,%d) vs (%v,%d)", t1, e1, t2, e2)
 	}
 }
+
+// pumpSource keeps one packet perpetually ready, minting the next from
+// the network pool on Advance — together with sink-side recycling this
+// forwards forever without fresh allocations.
+type pumpSource struct {
+	n        *Network
+	src, dst packet.NodeID
+	head     *packet.Packet
+}
+
+func (s *pumpSource) Head(now units.Time) (*packet.Packet, units.Time) { return s.head, now }
+
+func (s *pumpSource) Advance() {
+	pkt := s.n.NewPacket()
+	pkt.Src, pkt.Dst, pkt.Kind, pkt.Size, pkt.Code, pkt.InPort = s.src, s.dst, packet.Data, 1000, packet.Capable, -1
+	s.head = pkt
+}
+
+// TestForwardingSteadyStateAllocs pins the per-packet hot path at zero
+// allocations once warm: propagation and switch-hop events ride the
+// ports' preallocated typed-arg callbacks (no per-packet closures),
+// packets recycle through the pool, and the scheduler's heap and slot
+// table reuse their capacity. Companion to the sim package's
+// TestSchedulerSteadyStateAllocs.
+func TestForwardingSteadyStateAllocs(t *testing.T) {
+	const budget = 0.0
+	s, n, a, b := star(t, 40*units.Gbps, 4*units.Microsecond)
+	n.Sink = func(_ packet.NodeID, _ *packet.Packet) {}
+	src := &pumpSource{n: n, src: a, dst: b}
+	src.Advance()
+	n.HostPort(a).AttachSource(src)
+	s.At(0, func() { n.HostPort(a).Kick() })
+	// Warm up: fill the pool, the heap and the slot table.
+	s.RunUntil(200 * units.Microsecond)
+	allocs := testing.AllocsPerRun(100, func() {
+		s.RunUntil(s.Now() + 10*units.Microsecond)
+	})
+	if allocs > budget {
+		t.Errorf("steady-state forwarding allocates %.2f allocs/op, budget %.1f", allocs, budget)
+	}
+}

@@ -129,6 +129,11 @@ type Endpoint struct {
 	// cached head packet so repeated Head calls return one identity.
 	headPkt  *packet.Packet
 	headFlow *senderFlow
+
+	// activateFn is the preallocated flow-activation event callback:
+	// AddFlow schedules it with the flow as the event argument, so
+	// registering many flows (fat-tree workloads) mints no closures.
+	activateFn func(any)
 }
 
 // Manager owns all endpoints and flows of one simulation.
@@ -159,6 +164,7 @@ func Install(n *fabric.Network, cfg Config) *Manager {
 			continue
 		}
 		ep := &Endpoint{mgr: m, id: nd.ID, port: n.HostPort(nd.ID)}
+		ep.activateFn = func(arg any) { ep.activate(arg.(*Flow)) }
 		ep.port.AttachSource(ep)
 		m.endpoints[nd.ID] = ep
 	}
@@ -198,7 +204,7 @@ func (m *Manager) AddFlow(src, dst packet.NodeID, size units.ByteSize, start uni
 	if ft, ok := ctrl.(obs.FlowTracer); ok && m.Rec != nil {
 		ft.SetTrace(m.Rec, int64(f.ID))
 	}
-	m.net.Sched.At(start, func() { ep.activate(f) })
+	m.net.Sched.AtArg(start, ep.activateFn, f)
 	return f
 }
 

@@ -16,8 +16,11 @@ import (
 // equal-cost next-hop links.
 type Table struct {
 	topo *topo.Topology
-	// hostIdx maps a host NodeID to a dense index.
+	// hostIdx maps a host NodeID to a dense index; hostOf is the same
+	// mapping as a dense slice over all node IDs (-1 for non-hosts) so
+	// the per-hop Choices lookup stays off the map.
 	hostIdx map[packet.NodeID]int
+	hostOf  []int32
 	hosts   []packet.NodeID
 	// next[node][hostIdx] = equal-cost link indices, ascending.
 	next [][][]int32
@@ -33,6 +36,13 @@ func BuildShortestPath(t *topo.Topology) *Table {
 	}
 	nNodes := len(t.Nodes)
 	nHosts := len(tb.hosts)
+	tb.hostOf = make([]int32, nNodes)
+	for i := range tb.hostOf {
+		tb.hostOf[i] = -1
+	}
+	for hi, h := range tb.hosts {
+		tb.hostOf[h] = int32(hi)
+	}
 	tb.next = make([][][]int32, nNodes)
 	for i := range tb.next {
 		tb.next[i] = make([][]int32, nHosts)
@@ -74,8 +84,8 @@ func BuildShortestPath(t *topo.Topology) *Table {
 
 // Choices returns the equal-cost next-hop links from node toward dst.
 func (tb *Table) Choices(node, dst packet.NodeID) []int32 {
-	hi, ok := tb.hostIdx[dst]
-	if !ok {
+	hi := tb.hostOf[dst]
+	if hi < 0 {
 		panic(fmt.Sprintf("routing: destination %s is not a host", tb.topo.Name(dst)))
 	}
 	return tb.next[node][hi]

@@ -1,0 +1,193 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"testing"
+
+	"github.com/tcdnet/tcd/internal/rng"
+	"github.com/tcdnet/tcd/internal/units"
+)
+
+// This file cross-checks the indexed four-ary heap against a reference
+// scheduler built on container/heap — the shape of the implementation
+// this package replaced. The reference "cancels" by ghosting (the dead
+// entry stays queued and pops as a no-op) and "reschedules" by ghosting
+// plus pushing a freshly sequenced copy, which is exactly the semantics
+// the old sim.Timer had. Driving both with the same randomized
+// schedule/cancel/reschedule trace must produce the same execution
+// order and the same clock: in-place removal is an optimization, not a
+// behavior change.
+
+type refEvent struct {
+	at  units.Time
+	seq uint64
+	fn  func()
+}
+
+type refHeap []*refEvent
+
+func (h refHeap) Len() int { return len(h) }
+func (h refHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h refHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x any)   { *h = append(*h, x.(*refEvent)) }
+func (h *refHeap) Pop() (x any) {
+	old := *h
+	n := len(old) - 1
+	x = old[n]
+	*h = old[:n]
+	return x
+}
+
+type refSched struct {
+	now  units.Time
+	seq  uint64
+	h    refHeap
+	live map[uint64]*refEvent
+}
+
+func newRefSched() *refSched {
+	return &refSched{live: make(map[uint64]*refEvent)}
+}
+
+func (r *refSched) At(t units.Time, fn func()) uint64 {
+	r.seq++
+	ev := &refEvent{at: t, seq: r.seq, fn: fn}
+	heap.Push(&r.h, ev)
+	r.live[r.seq] = ev
+	return r.seq
+}
+
+func (r *refSched) Cancel(id uint64) bool {
+	ev := r.live[id]
+	if ev == nil {
+		return false
+	}
+	delete(r.live, id)
+	ev.fn = nil // ghost: stays queued, pops as a no-op
+	return true
+}
+
+// Reschedule ghosts the old entry and pushes a freshly sequenced copy,
+// returning the new handle (the reference has no stable handles).
+func (r *refSched) Reschedule(id uint64, t units.Time) (uint64, bool) {
+	ev := r.live[id]
+	if ev == nil {
+		return 0, false
+	}
+	fn := ev.fn
+	delete(r.live, id)
+	ev.fn = nil
+	return r.At(t, fn), true
+}
+
+func (r *refSched) RunUntil(deadline units.Time) {
+	for len(r.h) > 0 && r.h[0].at <= deadline {
+		ev := heap.Pop(&r.h).(*refEvent)
+		r.now = ev.at
+		if ev.fn != nil {
+			delete(r.live, ev.seq)
+			ev.fn()
+		}
+	}
+	if r.now < deadline {
+		r.now = deadline
+	}
+}
+
+// TestDifferentialAgainstContainerHeap drives both schedulers with an
+// identical randomized trace and requires identical firing order, clock
+// advance and live-event counts after every chunk.
+func TestDifferentialAgainstContainerHeap(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 3, 0xdecafbad} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			r := rng.New(seed)
+			dut := New()
+			ref := newRefSched()
+
+			var dutLog, refLog []uint64
+			var token uint64
+			// Parallel handle lists: index i refers to the same logical
+			// event in both schedulers.
+			var dutIDs []EventID
+			var refIDs []uint64
+
+			base := units.Time(0)
+			for chunk := 0; chunk < 200; chunk++ {
+				for op := 0; op < 30; op++ {
+					switch r.Intn(5) {
+					case 0, 1: // schedule
+						token++
+						tok := token
+						at := base + units.Time(1+r.Intn(5000))
+						// Exercise both payload forms on the DUT; the
+						// reference only has closures.
+						if r.Intn(2) == 0 {
+							dutIDs = append(dutIDs, dut.At(at, func() { dutLog = append(dutLog, tok) }))
+						} else {
+							dutIDs = append(dutIDs, dut.AtArg(at, func(a any) { dutLog = append(dutLog, a.(uint64)) }, tok))
+						}
+						refIDs = append(refIDs, ref.At(at, func() { refLog = append(refLog, tok) }))
+					case 2: // cancel a random handle (live or stale)
+						if len(dutIDs) == 0 {
+							continue
+						}
+						i := r.Intn(len(dutIDs))
+						ok1 := dut.Cancel(dutIDs[i])
+						ok2 := ref.Cancel(refIDs[i])
+						if ok1 != ok2 {
+							t.Fatalf("chunk %d: Cancel liveness diverged: dut=%v ref=%v", chunk, ok1, ok2)
+						}
+					case 3: // reschedule a random handle
+						if len(dutIDs) == 0 {
+							continue
+						}
+						i := r.Intn(len(dutIDs))
+						at := base + units.Time(1+r.Intn(5000))
+						ok1 := dut.Reschedule(dutIDs[i], at)
+						nid, ok2 := ref.Reschedule(refIDs[i], at)
+						if ok1 != ok2 {
+							t.Fatalf("chunk %d: Reschedule liveness diverged: dut=%v ref=%v", chunk, ok1, ok2)
+						}
+						if ok2 {
+							refIDs[i] = nid
+						}
+					case 4: // burst of same-instant events: stresses FIFO ties
+						at := base + units.Time(1+r.Intn(50))
+						for k := 0; k < 3; k++ {
+							token++
+							tok := token
+							dutIDs = append(dutIDs, dut.At(at, func() { dutLog = append(dutLog, tok) }))
+							refIDs = append(refIDs, ref.At(at, func() { refLog = append(refLog, tok) }))
+						}
+					}
+				}
+				base += units.Time(1 + r.Intn(2000))
+				dut.RunUntil(base)
+				ref.RunUntil(base)
+				if dut.Now() != ref.now {
+					t.Fatalf("chunk %d: clock diverged: dut=%v ref=%v", chunk, dut.Now(), ref.now)
+				}
+				if dut.Pending() != len(ref.live) {
+					t.Fatalf("chunk %d: live events diverged: dut=%d ref=%d", chunk, dut.Pending(), len(ref.live))
+				}
+			}
+			dut.RunUntil(units.Forever - 1)
+			ref.RunUntil(units.Forever - 1)
+			if len(dutLog) != len(refLog) {
+				t.Fatalf("fired %d events, reference fired %d", len(dutLog), len(refLog))
+			}
+			for i := range dutLog {
+				if dutLog[i] != refLog[i] {
+					t.Fatalf("execution order diverged at %d: dut=%d ref=%d", i, dutLog[i], refLog[i])
+				}
+			}
+		})
+	}
+}

@@ -4,54 +4,93 @@
 // same instant fire in the order they were scheduled (FIFO tie-breaking via
 // a monotonically increasing sequence number), which makes every run
 // reproducible regardless of map iteration order or GC timing.
+//
+// The queue is an indexed four-ary min-heap with stable handles: every
+// scheduled event gets an EventID, and Cancel/Reschedule remove or move the
+// event in place (sift by tracked heap index) instead of leaving dead
+// "ghost" entries queued until their fire time. The heap itself holds only
+// pointer-free keys (time, sequence, slot) — sift moves are plain memmoves
+// with no write barriers — while callbacks live in the slot table and never
+// move. Hot emitters schedule a preallocated func(arg) + arg pair
+// (AtArg/AfterArg) instead of minting a fresh closure per event.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 
 	"github.com/tcdnet/tcd/internal/units"
 )
 
-// Event is a scheduled callback. Keeping the callback as a closure keeps
-// call sites simple; the scheduler is single-threaded so no locking is
-// needed anywhere in the simulator.
-type event struct {
-	at  units.Time
-	seq uint64
-	fn  func()
+// EventID is a stable handle for a scheduled event, returned by At/After
+// and their Arg variants. It stays valid until the event fires or is
+// cancelled; using it afterwards is safe (Cancel/Reschedule report false)
+// because the handle carries a generation that slot reuse invalidates.
+type EventID uint64
+
+// NoEvent is the zero EventID; no live event ever has it.
+const NoEvent EventID = 0
+
+// key is one heap entry: the sort key plus the slot holding the payload.
+// It is deliberately pointer-free (sift moves are barrier-free copies)
+// and packed to 16 bytes — seq in the high word of ss, slot in the low —
+// so one four-child group occupies exactly one 64-byte cache line.
+type key struct {
+	at units.Time
+	ss uint64 // seq<<32 | slot
 }
 
-type eventHeap []*event
+func (k *key) slotIdx() uint32 { return uint32(k.ss) }
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// pad is the heap root's index. Rooting the four-ary heap at 3 instead
+// of 0 (indices 0-2 are unused dummies) makes every child group
+// [4i-8, 4i-5] start at a multiple-of-64-byte offset: with 16-byte keys
+// the four children a sift compares live in one cache line instead of
+// always straddling two, and the parent/child index math loses its
+// root special case (parent(i) = (i+8)>>2 uniformly).
+const pad = 3
+
+// less orders events by (time, sequence). The sequence is the low 32 bits
+// of a monotone counter compared with wraparound arithmetic: the order of
+// two equal-time events is FIFO whenever their schedule calls are within
+// 2^31 of each other. Exceeding that would take two events aimed at the
+// same picosecond scheduled more than two billion events apart — far
+// beyond any run here — and even then the order stays deterministic.
+func less(a, b *key) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return int32(uint32(a.ss>>32)-uint32(b.ss>>32)) < 0
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+
+// slotRef is one handle's event payload and location: the current heap
+// index (kept in sync by every sift), the generation that outstanding
+// EventIDs must match, and the callback. Exactly one of fn/afn is set:
+// fn is the closure form, afn+arg the typed-argument form used by
+// per-packet hot paths (a pointer-shaped arg boxes into the interface
+// without allocating). The payload is written once at schedule time and
+// cleared at release; it never moves with the heap.
+type slotRef struct {
+	idx int32
+	gen uint32
+	fn  func()
+	afn func(any)
+	arg any
 }
 
 // Scheduler is a discrete-event executor. The zero value is not usable;
 // call New.
 type Scheduler struct {
-	now    units.Time
-	seq    uint64
-	events eventHeap
-	// free recycles executed event structs: the steady-state event cycle
-	// (pop, run, schedule) then allocates nothing. Recycled events carry a
-	// nil fn so the free list never retains closures.
-	free []*event
+	now units.Time
+	seq uint64
+	// heap is a four-ary min-heap of pointer-free keys: no per-event
+	// allocation, no interface boxing, no write barriers on sift, and
+	// four children share a cache line instead of two per level.
+	heap []key
+	// slots maps EventID slots to heap positions and payloads;
+	// freeSlots recycles released slot indices so the table stays as
+	// small as the peak queue depth.
+	slots     []slotRef
+	freeSlots []uint32
 	// processed counts executed events, for instrumentation.
 	processed uint64
 	stopped   bool
@@ -59,7 +98,7 @@ type Scheduler struct {
 
 // New returns an empty scheduler at time zero.
 func New() *Scheduler {
-	return &Scheduler{}
+	return &Scheduler{heap: make([]key, pad, pad+61)}
 }
 
 // Now reports the current simulated time.
@@ -70,40 +109,240 @@ func (s *Scheduler) Processed() uint64 { return s.processed }
 
 // At schedules fn to run at absolute time t. Scheduling in the past is a
 // programming error and panics, because it would silently reorder causality.
-func (s *Scheduler) At(t units.Time, fn func()) {
+func (s *Scheduler) At(t units.Time, fn func()) EventID {
+	return s.schedule(t, fn, nil, nil)
+}
+
+// After schedules fn to run d after the current time.
+func (s *Scheduler) After(d units.Time, fn func()) EventID {
+	if d < 0 {
+		d = 0
+	}
+	return s.schedule(s.now+d, fn, nil, nil)
+}
+
+// AtArg schedules fn(arg) at absolute time t. Callers on per-event hot
+// paths preallocate fn once and vary only arg, so scheduling allocates
+// nothing (pointer-shaped args box for free).
+func (s *Scheduler) AtArg(t units.Time, fn func(any), arg any) EventID {
+	return s.schedule(t, nil, fn, arg)
+}
+
+// AfterArg schedules fn(arg) to run d after the current time.
+func (s *Scheduler) AfterArg(d units.Time, fn func(any), arg any) EventID {
+	if d < 0 {
+		d = 0
+	}
+	return s.schedule(s.now+d, nil, fn, arg)
+}
+
+func (s *Scheduler) schedule(t units.Time, fn func(), afn func(any), arg any) EventID {
 	if t < s.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
 	}
 	s.seq++
-	e := s.newEvent()
-	e.at, e.seq, e.fn = t, s.seq, fn
-	heap.Push(&s.events, e)
-}
-
-// newEvent takes an event struct from the free list, or allocates one.
-func (s *Scheduler) newEvent() *event {
-	if n := len(s.free); n > 0 {
-		e := s.free[n-1]
-		s.free[n-1] = nil
-		s.free = s.free[:n-1]
-		return e
+	var slot uint32
+	if n := len(s.freeSlots); n > 0 {
+		slot = s.freeSlots[n-1]
+		s.freeSlots = s.freeSlots[:n-1]
+	} else {
+		slot = uint32(len(s.slots))
+		s.slots = append(s.slots, slotRef{gen: 1})
 	}
-	return &event{}
-}
-
-// recycle returns an executed event to the free list, dropping its
-// closure so the list holds only inert structs.
-func (s *Scheduler) recycle(e *event) {
-	e.fn = nil
-	s.free = append(s.free, e)
-}
-
-// After schedules fn to run d after the current time.
-func (s *Scheduler) After(d units.Time, fn func()) {
-	if d < 0 {
-		d = 0
+	ref := &s.slots[slot]
+	// releaseSlot nil-cleared the payload, so store only the form in
+	// use: fewer pointer writes, fewer GC write barriers per event.
+	if fn != nil {
+		ref.fn = fn
+	} else {
+		ref.afn, ref.arg = afn, arg
 	}
-	s.At(s.now+d, fn)
+	i := len(s.heap)
+	ref.idx = int32(i)
+	s.heap = append(s.heap, key{at: t, ss: uint64(uint32(s.seq))<<32 | uint64(slot)})
+	s.siftUp(i)
+	return EventID(uint64(ref.gen)<<32 | uint64(slot))
+}
+
+// lookup resolves a handle to its heap index, rejecting stale handles
+// (fired, cancelled, or recycled slots).
+func (s *Scheduler) lookup(id EventID) (int, bool) {
+	slot := uint32(id)
+	if int(slot) >= len(s.slots) {
+		return 0, false
+	}
+	ref := &s.slots[slot]
+	if ref.gen != uint32(id>>32) || ref.idx < 0 {
+		return 0, false
+	}
+	return int(ref.idx), true
+}
+
+// Scheduled reports whether the handle still refers to a queued event.
+func (s *Scheduler) Scheduled(id EventID) bool {
+	_, ok := s.lookup(id)
+	return ok
+}
+
+// Cancel removes a pending event from the queue in place, dropping its
+// callback and argument references immediately. It reports whether the
+// handle was live; cancelling an already-fired or already-cancelled
+// event is a no-op.
+func (s *Scheduler) Cancel(id EventID) bool {
+	i, ok := s.lookup(id)
+	if !ok {
+		return false
+	}
+	s.removeAt(i)
+	return true
+}
+
+// Reschedule moves a pending event to absolute time t in place — one
+// sift, no queue growth. The event is re-sequenced as if freshly
+// scheduled, so it fires after everything already queued for the same
+// instant (identical tie-breaking to Cancel+At). It reports whether the
+// handle was live.
+func (s *Scheduler) Reschedule(id EventID, t units.Time) bool {
+	i, ok := s.lookup(id)
+	if !ok {
+		return false
+	}
+	if t < s.now {
+		panic(fmt.Sprintf("sim: rescheduling event to %v before now %v", t, s.now))
+	}
+	s.seq++
+	s.heap[i].at = t
+	s.heap[i].ss = uint64(uint32(s.seq))<<32 | uint64(uint32(s.heap[i].ss))
+	s.fix(i)
+	return true
+}
+
+// releaseSlot frees a slot, drops its callback and argument references,
+// and invalidates every outstanding handle to it by bumping the
+// generation (skipping 0, which marks NoEvent).
+func (s *Scheduler) releaseSlot(slot uint32) {
+	ref := &s.slots[slot]
+	ref.idx = -1
+	ref.gen++
+	if ref.gen == 0 {
+		ref.gen = 1
+	}
+	if ref.fn != nil {
+		ref.fn = nil
+	} else {
+		ref.afn, ref.arg = nil, nil
+	}
+	s.freeSlots = append(s.freeSlots, slot)
+}
+
+// removeAt deletes the event at heap index i.
+func (s *Scheduler) removeAt(i int) {
+	n := len(s.heap) - 1
+	s.releaseSlot(s.heap[i].slotIdx())
+	if i != n {
+		s.heap[i] = s.heap[n]
+		s.slots[s.heap[i].slotIdx()].idx = int32(i)
+	}
+	s.heap = s.heap[:n]
+	if i < n {
+		s.fix(i)
+	}
+}
+
+// fix restores the heap property around index i after its key changed.
+func (s *Scheduler) fix(i int) {
+	if i > pad && less(&s.heap[i], &s.heap[(i+8)>>2]) {
+		s.siftUp(i)
+	} else {
+		s.siftDown(i)
+	}
+}
+
+// popTop removes the minimum event (the root). Instead of moving the
+// last element to the root and sifting it down (comparing it at every
+// level), the root hole bubbles down along min-children to a leaf and
+// the displaced last element sifts up from there: that element came
+// from the bottom, so it almost always belongs near the bottom, and
+// skipping the per-level "would it fit here" compare saves a quarter of
+// the comparisons on the scheduler's single hottest path.
+func (s *Scheduler) popTop() {
+	n := len(s.heap) - 1
+	s.releaseSlot(s.heap[pad].slotIdx())
+	e := s.heap[n]
+	s.heap = s.heap[:n]
+	if n == pad {
+		return
+	}
+	h := s.heap
+	i := pad
+	for {
+		c := i<<2 - 8
+		if c >= n {
+			break
+		}
+		m := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if less(&h[j], &h[m]) {
+				m = j
+			}
+		}
+		h[i] = h[m]
+		s.slots[h[i].slotIdx()].idx = int32(i)
+		i = m
+	}
+	h[i] = e
+	s.slots[e.slotIdx()].idx = int32(i)
+	s.siftUp(i)
+}
+
+func (s *Scheduler) siftUp(i int) {
+	h := s.heap
+	e := h[i]
+	for i > pad {
+		p := (i + 8) >> 2
+		if !less(&e, &h[p]) {
+			break
+		}
+		h[i] = h[p]
+		s.slots[h[i].slotIdx()].idx = int32(i)
+		i = p
+	}
+	h[i] = e
+	s.slots[e.slotIdx()].idx = int32(i)
+}
+
+func (s *Scheduler) siftDown(i int) {
+	h := s.heap
+	n := len(h)
+	e := h[i]
+	for {
+		c := i<<2 - 8
+		if c >= n {
+			break
+		}
+		m := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if less(&h[j], &h[m]) {
+				m = j
+			}
+		}
+		if !less(&h[m], &e) {
+			break
+		}
+		h[i] = h[m]
+		s.slots[h[i].slotIdx()].idx = int32(i)
+		i = m
+	}
+	h[i] = e
+	s.slots[e.slotIdx()].idx = int32(i)
 }
 
 // Stop makes Run/RunUntil return after the current event completes and
@@ -114,18 +353,18 @@ func (s *Scheduler) After(d units.Time, fn func()) {
 // sweep finished.
 func (s *Scheduler) Stop() {
 	s.stopped = true
-	for _, e := range s.events {
-		s.recycle(e)
+	for i := pad; i < len(s.heap); i++ {
+		s.releaseSlot(s.heap[i].slotIdx())
 	}
-	s.events = s.events[:0]
+	s.heap = s.heap[:pad]
 }
 
 // Pending reports the number of queued events.
-func (s *Scheduler) Pending() int { return len(s.events) }
+func (s *Scheduler) Pending() int { return len(s.heap) - pad }
 
 // Len reports the number of queued events (alias of Pending, matching
 // the container-style accessor sweeps and tests expect).
-func (s *Scheduler) Len() int { return len(s.events) }
+func (s *Scheduler) Len() int { return len(s.heap) - pad }
 
 // Run executes events until the queue is empty or Stop is called.
 func (s *Scheduler) Run() {
@@ -137,20 +376,25 @@ func (s *Scheduler) Run() {
 // the deadline (or at the last event if the queue drained first).
 func (s *Scheduler) RunUntil(deadline units.Time) {
 	s.stopped = false
-	for len(s.events) > 0 && !s.stopped {
-		next := s.events[0]
-		if next.at > deadline {
+	for len(s.heap) > pad && !s.stopped {
+		top := s.heap[pad]
+		if top.at > deadline {
 			s.now = deadline
 			return
 		}
-		heap.Pop(&s.events)
-		s.now = next.at
+		// Copy the callback out and pop before running: the slot and
+		// heap cell are reusable immediately, so events scheduled from
+		// inside the callback allocate nothing.
+		ref := &s.slots[top.slotIdx()]
+		fn, afn, arg := ref.fn, ref.afn, ref.arg
+		s.popTop()
+		s.now = top.at
 		s.processed++
-		fn := next.fn
-		// Recycle before running: events scheduled by fn can reuse the
-		// struct immediately, keeping the hot loop allocation-free.
-		s.recycle(next)
-		fn()
+		if fn != nil {
+			fn()
+		} else {
+			afn(arg)
+		}
 	}
 	if deadline != units.Forever && s.now < deadline {
 		s.now = deadline
@@ -160,35 +404,50 @@ func (s *Scheduler) RunUntil(deadline units.Time) {
 // Timer is a cancellable, re-armable timer built on the scheduler. It is
 // used for periodic credit updates, CNP generation windows, rate-increase
 // timers and similar protocol machinery.
+//
+// Arm of an already-armed timer is one in-place Reschedule — the queue
+// never grows, and no closure is created: the fire callback is
+// preallocated once at NewTimer.
 type Timer struct {
 	s       *Scheduler
 	fn      func()
+	fireFn  func() // preallocated adapter handed to the scheduler
+	id      EventID
 	armedAt units.Time // fire time of the live arm; Never when idle
-	gen     uint64     // invalidates stale scheduled closures
 }
 
 // NewTimer returns an unarmed timer that runs fn when it fires.
 func NewTimer(s *Scheduler, fn func()) *Timer {
-	return &Timer{s: s, fn: fn, armedAt: units.Never}
+	t := &Timer{s: s, fn: fn, armedAt: units.Never}
+	t.fireFn = t.fire
+	return t
 }
 
 // Arm (re)schedules the timer to fire d from now, replacing any pending arm.
 func (t *Timer) Arm(d units.Time) {
-	t.gen++
-	gen := t.gen
-	t.armedAt = t.s.Now() + d
-	t.s.After(d, func() {
-		if t.gen != gen {
-			return // cancelled or re-armed
-		}
-		t.armedAt = units.Never
-		t.fn()
-	})
+	if d < 0 {
+		d = 0
+	}
+	at := t.s.Now() + d
+	t.armedAt = at
+	if t.id != NoEvent && t.s.Reschedule(t.id, at) {
+		return
+	}
+	t.id = t.s.At(at, t.fireFn)
 }
 
-// Cancel disarms the timer if armed.
+func (t *Timer) fire() {
+	t.id = NoEvent
+	t.armedAt = units.Never
+	t.fn()
+}
+
+// Cancel disarms the timer if armed, removing its queued event in place.
 func (t *Timer) Cancel() {
-	t.gen++
+	if t.id != NoEvent {
+		t.s.Cancel(t.id)
+		t.id = NoEvent
+	}
 	t.armedAt = units.Never
 }
 

@@ -194,6 +194,119 @@ func TestSchedulerSteadyStateAllocs(t *testing.T) {
 	}
 }
 
+// TestEventHandleSemantics pins the EventID contract: Cancel and
+// Reschedule act on live handles exactly once, fired or cancelled
+// handles go stale, and a recycled slot does not resurrect an old
+// handle (generation check).
+func TestEventHandleSemantics(t *testing.T) {
+	s := New()
+	fired := 0
+	s.At(0, func() {
+		id := s.After(10, func() { fired++ })
+		if !s.Scheduled(id) {
+			t.Error("fresh handle not Scheduled")
+		}
+		if !s.Cancel(id) {
+			t.Error("Cancel of live handle reported false")
+		}
+		if s.Cancel(id) {
+			t.Error("second Cancel of same handle reported true")
+		}
+		if s.Scheduled(id) {
+			t.Error("cancelled handle still Scheduled")
+		}
+		// The freed slot is recycled by the next schedule; the stale
+		// handle must not alias the new event.
+		id2 := s.After(20, func() { fired++ })
+		if s.Cancel(id) {
+			t.Error("stale handle cancelled the recycled slot's event")
+		}
+		if !s.Reschedule(id2, s.Now()+5) {
+			t.Error("Reschedule of live handle reported false")
+		}
+	})
+	s.Run()
+	if fired != 1 {
+		t.Errorf("fired = %d, want 1 (cancelled event ran or survivor did not)", fired)
+	}
+	if s.Now() != 5 {
+		t.Errorf("Now() = %v, want 5 (rescheduled fire time)", s.Now())
+	}
+}
+
+// TestRescheduleResequences pins the determinism contract: a rescheduled
+// event fires after everything already queued for the same instant,
+// exactly as if it had been cancelled and freshly scheduled.
+func TestRescheduleResequences(t *testing.T) {
+	s := New()
+	var order []string
+	s.At(0, func() {
+		id := s.At(10, func() { order = append(order, "moved") })
+		s.At(20, func() { order = append(order, "sitter") })
+		s.Reschedule(id, 20)
+	})
+	s.Run()
+	if len(order) != 2 || order[0] != "sitter" || order[1] != "moved" {
+		t.Errorf("order = %v, want [sitter moved]", order)
+	}
+}
+
+// TestTimerChurnKeepsPendingBounded is the ghost-timer regression test:
+// before the indexed heap, every re-Arm/Cancel left the superseded
+// closure queued until its original fire time, so sustained churn grew
+// Pending() without bound. Now each timer holds at most one queued event.
+func TestTimerChurnKeepsPendingBounded(t *testing.T) {
+	s := New()
+	const nTimers = 8
+	timers := make([]*Timer, nTimers)
+	for i := range timers {
+		timers[i] = NewTimer(s, func() {})
+	}
+	s.At(0, func() {
+		for round := 1; round <= 1000; round++ {
+			for _, tm := range timers {
+				tm.Arm(units.Time(round) * 100)
+				tm.Cancel()
+				tm.Arm(units.Time(round) * 200)
+				tm.Arm(units.Time(round) * 300) // re-arm of armed timer
+			}
+			if p := s.Pending(); p > nTimers {
+				t.Fatalf("round %d: Pending() = %d, want <= %d (ghost events accumulating)", round, p, nTimers)
+			}
+		}
+	})
+	s.Run()
+	if s.Pending() != 0 {
+		t.Errorf("Pending() = %d after drain, want 0", s.Pending())
+	}
+}
+
+// TestCancelReleasesClosure verifies Cancel drops the callback reference
+// immediately — the slot free list must not retain the closure (or what
+// it captures) until the slot is reused.
+func TestCancelReleasesClosure(t *testing.T) {
+	s := New()
+	released := make(chan struct{})
+	var id EventID
+	func() {
+		pinned := new([1 << 16]byte)
+		runtime.SetFinalizer(pinned, func(*[1 << 16]byte) { close(released) })
+		id = s.At(units.Forever-1, func() { _ = pinned[0] })
+	}()
+	if !s.Cancel(id) {
+		t.Fatal("Cancel of live handle reported false")
+	}
+	for i := 0; i < 10; i++ {
+		runtime.GC()
+		select {
+		case <-released:
+			return
+		default:
+		}
+	}
+	t.Error("cancelled closure still retained after Cancel + GC")
+}
+
 func TestTimerBasic(t *testing.T) {
 	s := New()
 	fired := 0

@@ -3,6 +3,11 @@
 # for the current checkout. CI runs the same harness on every push; diff two
 # BENCH_*.json files to see the perf trajectory between revisions.
 #
+# When a BENCH_*.json report from an earlier revision is committed to the
+# repo, the newest one is used as the regression baseline: a >15% slowdown
+# on the guarded fig3 cases (ns/op or allocs/op) fails the run. With no
+# committed prior report the guard is skipped.
+#
 # Usage: scripts/bench.sh [output-dir]
 set -eu
 
@@ -10,5 +15,18 @@ cd "$(dirname "$0")/.."
 out="${1:-.}"
 rev="$(git rev-parse --short HEAD 2>/dev/null || echo dev)"
 
-go run ./cmd/tcdsim -bench-json "${out}/BENCH_${rev}.json" -bench-rev "${rev}"
+# Newest committed report, by commit time, excluding any for this revision.
+against="$(git ls-files 'BENCH_*.json' 2>/dev/null |
+	grep -v "BENCH_${rev}.json" |
+	while read -r f; do
+		printf '%s %s\n' "$(git log -1 --format=%ct -- "$f")" "$f"
+	done | sort -rn | head -n1 | cut -d' ' -f2-)" || true
+
+if [ -n "${against}" ]; then
+	echo "guarding against ${against}"
+	go run ./cmd/tcdsim -bench-json "${out}/BENCH_${rev}.json" -bench-rev "${rev}" -bench-against "${against}"
+else
+	echo "no committed prior BENCH report; regression guard skipped"
+	go run ./cmd/tcdsim -bench-json "${out}/BENCH_${rev}.json" -bench-rev "${rev}"
+fi
 echo "wrote ${out}/BENCH_${rev}.json"
