@@ -30,6 +30,7 @@ import (
 	"github.com/tcdnet/tcd/internal/exp"
 	"github.com/tcdnet/tcd/internal/exp/sweep"
 	"github.com/tcdnet/tcd/internal/fabric"
+	"github.com/tcdnet/tcd/internal/fault"
 	"github.com/tcdnet/tcd/internal/obs"
 	"github.com/tcdnet/tcd/internal/units"
 )
@@ -46,6 +47,7 @@ type options struct {
 	voq      bool
 	runs     int
 	obs      obs.Config
+	faults   *fault.Spec
 }
 
 // progressObs strips the trace/metrics sinks, keeping only progress
@@ -68,7 +70,7 @@ func runners() []runner {
 			cfg := exp.DefaultObserveConfig(o.fabric, exp.DetBaseline, false)
 			cfg.Seed = o.seed
 			cfg.Obs = o.obs
-			applyArch(&cfg, o)
+			applyObserve(&cfg, o)
 			applyHorizon(&cfg.Horizon, o)
 			return []*exp.Result{exp.Observe(cfg)}
 		}},
@@ -76,7 +78,7 @@ func runners() []runner {
 			cfg := exp.DefaultObserveConfig(o.fabric, exp.DetBaseline, true)
 			cfg.Seed = o.seed
 			cfg.Obs = o.obs
-			applyArch(&cfg, o)
+			applyObserve(&cfg, o)
 			applyHorizon(&cfg.Horizon, o)
 			return []*exp.Result{exp.Observe(cfg)}
 		}},
@@ -97,7 +99,7 @@ func runners() []runner {
 			cfg := exp.DefaultObserveConfig(o.fabric, exp.DetTCD, false)
 			cfg.Seed = o.seed
 			cfg.Obs = o.obs
-			applyArch(&cfg, o)
+			applyObserve(&cfg, o)
 			applyHorizon(&cfg.Horizon, o)
 			return []*exp.Result{exp.Observe(cfg)}
 		}},
@@ -105,7 +107,7 @@ func runners() []runner {
 			cfg := exp.DefaultObserveConfig(o.fabric, exp.DetTCD, true)
 			cfg.Seed = o.seed
 			cfg.Obs = o.obs
-			applyArch(&cfg, o)
+			applyObserve(&cfg, o)
 			applyHorizon(&cfg.Horizon, o)
 			return []*exp.Result{exp.Observe(cfg)}
 		}},
@@ -191,6 +193,26 @@ func runners() []runner {
 				exp.AblationSwitchArch(8*units.Millisecond, o.seed),
 			}
 		}},
+		{"victim-under-flap", "victim flow during a flapping link: stock detector vs TCD", func(o options) []*exp.Result {
+			var out []*exp.Result
+			for _, det := range []exp.DetectorKind{exp.DetBaseline, exp.DetTCD} {
+				cfg := exp.DefaultVictimFlapConfig(o.fabric, det)
+				cfg.Seed = o.seed
+				// Back-to-back comparison runs cannot share trace/metrics
+				// sinks, so this experiment reports progress only.
+				cfg.Obs = o.progressObs()
+				applyHorizon(&cfg.Horizon, o)
+				out = append(out, exp.VictimUnderFlap(cfg))
+			}
+			return out
+		}},
+		{"deadlock-unit", "3-switch ring PFC/CBFC deadlock with initial-trigger attribution", func(o options) []*exp.Result {
+			cfg := exp.DefaultDeadlockUnitConfig(o.fabric)
+			cfg.Seed = o.seed
+			cfg.Obs = o.obs
+			applyHorizon(&cfg.Horizon, o)
+			return []*exp.Result{exp.DeadlockUnit(cfg)}
+		}},
 		{"fig20", "fairness of the TCD rate-adjustment rules", func(o options) []*exp.Result {
 			var out []*exp.Result
 			for _, cc := range []exp.CCKind{exp.CCDCQCNTCD, exp.CCTIMELYTCD} {
@@ -213,10 +235,13 @@ func applyHorizon(dst *units.Time, o options) {
 	}
 }
 
-func applyArch(cfg *exp.ObserveConfig, o options) {
+// applyObserve threads the observation-run overrides (switch
+// architecture, injected fault schedule) into an ObserveConfig.
+func applyObserve(cfg *exp.ObserveConfig, o options) {
 	if o.voq {
 		cfg.Arch = fabric.InputQueuedVoQ
 	}
+	cfg.Faults = o.faults
 }
 
 func tuneFatTree(cfg *exp.FatTreeConfig, o options, fullK, fullFlows int) {
@@ -253,6 +278,7 @@ func main() {
 		csvdir   = flag.String("csvdir", "", "write every collected series as CSV files into this directory")
 		arch     = flag.String("arch", "oq", "switch architecture for observation runs: oq or voq")
 		runs     = flag.Int("runs", 1, "repeat the experiment over this many consecutive seeds and fold statistics")
+		faults   = flag.String("faults", "", "JSON fault schedule injected into observation experiments (fig3/fig4/fig12/fig13)")
 		doSweep  = flag.Bool("sweep", false, "run the multi-seed sweep engine even for -runs 1")
 		parallel = flag.Int("parallel", 0, "sweep worker count (0 = GOMAXPROCS); runs stay deterministic per seed")
 
@@ -306,6 +332,14 @@ func main() {
 	}
 	if *horizon > 0 {
 		o.horizon = units.Time(horizon.Nanoseconds()) * units.Nanosecond
+	}
+	if *faults != "" {
+		spec, err := fault.LoadSpec(*faults)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			os.Exit(2)
+		}
+		o.faults = spec
 	}
 
 	var ring *obs.Ring

@@ -54,6 +54,10 @@ type Gate struct {
 	// starved tracks, per VL, whether the last refusal was reported, so
 	// exhaustion/grant events record the edges and not every CanSend.
 	starved []bool
+	// starvedSince records when the current starvation began
+	// (units.Forever while credits last) — the credit-stall analogue of
+	// PFC's pausedSince, used for initial-trigger attribution.
+	starvedSince []units.Time
 	// Updates counts FCCL messages received.
 	Updates uint64
 }
@@ -65,6 +69,7 @@ func (g *Gate) CanSend(vl uint8, size units.ByteSize) bool {
 	}
 	if !g.starved[vl] {
 		g.starved[vl] = true
+		g.starvedSince[vl] = g.port.Now()
 		if rec := g.port.Recorder(); rec != nil {
 			rec.Record(obs.Event{
 				At: g.port.Now(), Kind: obs.KindCreditExhausted,
@@ -89,6 +94,7 @@ func (g *Gate) HandleCtrl(now units.Time, f fabric.CtrlFrame) {
 		g.fccl[f.Prio] = f.FCCL
 		if g.starved[f.Prio] {
 			g.starved[f.Prio] = false
+			g.starvedSince[f.Prio] = units.Forever
 			if rec := g.port.Recorder(); rec != nil {
 				rec.Record(obs.Event{
 					At: now, Kind: obs.KindCreditGrant,
@@ -103,6 +109,14 @@ func (g *Gate) HandleCtrl(now units.Time, f fabric.CtrlFrame) {
 
 // Credits reports the currently available credit in bytes for one VL.
 func (g *Gate) Credits(vl uint8) int64 { return g.fccl[vl] - g.fctbs[vl] }
+
+// Starved reports whether the VL is currently out of credit (as of the
+// last refused CanSend).
+func (g *Gate) Starved(vl uint8) bool { return g.starved[vl] }
+
+// StarvedSince reports when the current starvation of one VL began, or
+// units.Forever if the VL has credit.
+func (g *Gate) StarvedSince(vl uint8) units.Time { return g.starvedSince[vl] }
 
 // Meter is the downstream ingress side: ABR, occupancy, and the periodic
 // FCCL timer. The timer quiesces while the link is idle (no occupancy and
@@ -190,9 +204,14 @@ func Install(n *fabric.Network, cfg Config) {
 	nPrio := n.Config().Priorities
 	i := 0
 	for _, p := range n.Ports() {
-		g := &Gate{port: p, fctbs: make([]int64, nPrio), fccl: make([]int64, nPrio), starved: make([]bool, nPrio)}
+		g := &Gate{
+			port:  p,
+			fctbs: make([]int64, nPrio), fccl: make([]int64, nPrio),
+			starved: make([]bool, nPrio), starvedSince: make([]units.Time, nPrio),
+		}
 		for vl := range g.fccl {
 			g.fccl[vl] = int64(cfg.Buffer)
+			g.starvedSince[vl] = units.Forever
 		}
 		p.AttachGate(g)
 		m := &Meter{

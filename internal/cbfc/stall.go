@@ -1,0 +1,113 @@
+// CBFC credit-stall detection: the InfiniBand analogue of PFC deadlock
+// detection. A credit-wait cycle is a loop of egress ports each starved
+// of credit because the downstream buffer its packets need is occupied
+// by the next starved port's packets; since an occupied buffer never
+// raises FCCL, the loop is permanent. The mechanics mirror
+// pfc.DeadlockDetector — same fabric-level cycle search, with
+// attribution by earliest credit starvation instead of earliest pause.
+
+package cbfc
+
+import (
+	"strings"
+
+	"github.com/tcdnet/tcd/internal/fabric"
+	"github.com/tcdnet/tcd/internal/obs"
+	"github.com/tcdnet/tcd/internal/sim"
+	"github.com/tcdnet/tcd/internal/units"
+)
+
+// StallReport describes one detected credit-wait cycle.
+type StallReport struct {
+	// At is when the scan found the cycle.
+	At units.Time
+	// Ports are the cycle members' labels, in deterministic scan order.
+	Ports []string
+	// Trigger is the member whose starvation began earliest.
+	Trigger string
+	// Since is how long Trigger had been starved when the scan ran.
+	Since units.Time
+}
+
+// StallDetector periodically scans for credit-wait cycles.
+type StallDetector struct {
+	net   *fabric.Network
+	timer *sim.Timer
+	every units.Time
+	seen  map[string]bool
+
+	// Reports lists each distinct cycle once, in detection order.
+	Reports []StallReport
+	// Scans counts completed scan ticks.
+	Scans uint64
+}
+
+// DefaultScanEvery is the stall-scan period when none is given. It must
+// comfortably exceed Tc: a healthy port can legitimately sit starved for
+// up to one FCCL period, and scanning much faster than that only finds
+// cycles a few ticks sooner.
+const DefaultScanEvery = 200 * units.Microsecond
+
+// AttachStallDetector starts a periodic credit-stall scan on the fabric.
+func AttachStallDetector(n *fabric.Network, every units.Time) *StallDetector {
+	if every <= 0 {
+		every = DefaultScanEvery
+	}
+	d := &StallDetector{net: n, every: every, seen: make(map[string]bool)}
+	d.timer = sim.NewTimer(n.Sched, d.scan)
+	d.timer.Arm(every)
+	return d
+}
+
+// Stop cancels the scan timer.
+func (d *StallDetector) Stop() { d.timer.Cancel() }
+
+// Stalled reports whether any cycle has been detected so far.
+func (d *StallDetector) Stalled() bool { return len(d.Reports) > 0 }
+
+func (d *StallDetector) scan() {
+	d.Scans++
+	for _, cyc := range d.net.WaitCycles() {
+		d.report(cyc)
+	}
+	d.timer.Arm(d.every)
+}
+
+func (d *StallDetector) report(cyc []*fabric.Port) {
+	now := d.net.Sched.Now()
+	var (
+		trigger *fabric.Port
+		since   = units.Forever
+		labels  = make([]string, 0, len(cyc))
+	)
+	for _, p := range cyc {
+		g, ok := p.Gate().(*Gate)
+		if !ok {
+			return // not a CBFC fabric port; the PFC detector owns it
+		}
+		labels = append(labels, p.Label())
+		for vl := range g.starved {
+			if g.starved[vl] && g.starvedSince[vl] < since {
+				since = g.starvedSince[vl]
+				trigger = p
+			}
+		}
+	}
+	if trigger == nil {
+		return
+	}
+	sig := strings.Join(labels, "|")
+	if d.seen[sig] {
+		return
+	}
+	d.seen[sig] = true
+	d.Reports = append(d.Reports, StallReport{
+		At: now, Ports: labels, Trigger: trigger.Label(), Since: now - since,
+	})
+	if rec := d.net.Config().Rec; rec != nil {
+		rec.Record(obs.Event{
+			At: now, Kind: obs.KindCreditStall, Port: trigger.Label(),
+			Flow: -1, Val: int64(len(labels)), Aux: int64(now - since),
+		})
+	}
+}

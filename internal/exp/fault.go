@@ -1,0 +1,278 @@
+// Failure-mode experiments: what congestion detection sees when the
+// backpressure is caused by a fault instead of a traffic hot spot.
+//
+//   - victim-under-flap: the Figure-2 network with a flapping R0–T2
+//     link. Every down window strands R0-bound traffic at T2, PFC/CBFC
+//     spread the backpressure to P2 and P1, and the long-lived F1 —
+//     whose own path to R1 is idle — queues behind it. Stock ECN reads
+//     P2's queue as congestion and marks F1's packets CE; TCD sees the
+//     pause-dominated ON/OFF pattern, stays undetermined, and marks UE.
+//   - deadlock-unit: a 3-switch ring with deliberately cyclic routing
+//     and tiny flow-control buffers. The pause (or credit) waits close
+//     into a loop that can never drain; the pfc.DeadlockDetector /
+//     cbfc.StallDetector must find the cycle and attribute the initial
+//     trigger within bounded sim time.
+
+package exp
+
+import (
+	"fmt"
+
+	"github.com/tcdnet/tcd/internal/cbfc"
+	"github.com/tcdnet/tcd/internal/core"
+	"github.com/tcdnet/tcd/internal/fabric"
+	"github.com/tcdnet/tcd/internal/fault"
+	"github.com/tcdnet/tcd/internal/host"
+	"github.com/tcdnet/tcd/internal/obs"
+	"github.com/tcdnet/tcd/internal/packet"
+	"github.com/tcdnet/tcd/internal/pfc"
+	"github.com/tcdnet/tcd/internal/stats"
+	"github.com/tcdnet/tcd/internal/topo"
+	"github.com/tcdnet/tcd/internal/units"
+)
+
+// InjectFaults arms a fault schedule against the rig's network. An empty
+// (or nil) spec arms nothing: the run stays byte-identical to one built
+// without the injector.
+func (r *Rig) InjectFaults(spec *fault.Spec) (*fault.Injector, error) {
+	return fault.Inject(r.Net, spec)
+}
+
+// mustInjectFaults is InjectFaults for experiment wiring, where a bad
+// spec is a configuration error and should be loud.
+func (r *Rig) mustInjectFaults(spec *fault.Spec) *fault.Injector {
+	inj, err := r.InjectFaults(spec)
+	if err != nil {
+		panic("exp: " + err.Error())
+	}
+	return inj
+}
+
+// VictimFlapConfig parameterizes the victim-under-flap experiment.
+type VictimFlapConfig struct {
+	// Kind selects CEE (PFC + ECN/TCD) or IB (CBFC + FECN/TCD).
+	Kind FabricKind
+	// Det selects the marking scheme under test.
+	Det DetectorKind
+	// Horizon ends the run.
+	Horizon units.Time
+	// FlapFrom/FlapUntil bound the flap window; FlapPeriod and FlapDown
+	// shape each cycle of the R0-T2 link failure.
+	FlapFrom, FlapUntil  units.Time
+	FlapPeriod, FlapDown units.Time
+	// CrossRate is the per-flow rate of the R0-bound cross traffic.
+	CrossRate units.Rate
+	// Sample is the trace interval.
+	Sample units.Time
+	// Seed feeds the rig's random streams.
+	Seed uint64
+	// Obs wires tracing/metrics/progress into the rig.
+	Obs obs.Config
+}
+
+// DefaultVictimFlapConfig returns the experiment's stock parameters: a
+// 10 ms run with the R0-T2 link flapping 400 us down per millisecond
+// between 0.5 ms and 8 ms.
+func DefaultVictimFlapConfig(kind FabricKind, det DetectorKind) VictimFlapConfig {
+	return VictimFlapConfig{
+		Kind:       kind,
+		Det:        det,
+		Horizon:    10 * units.Millisecond,
+		FlapFrom:   500 * units.Microsecond,
+		FlapUntil:  8 * units.Millisecond,
+		FlapPeriod: units.Millisecond,
+		FlapDown:   400 * units.Microsecond,
+		CrossRate:  10 * units.Gbps,
+		Sample:     10 * units.Microsecond,
+	}
+}
+
+// VictimUnderFlap runs the victim-under-flap scenario with one marking
+// scheme; cmd/tcdsim pairs a DetBaseline and a DetTCD run to show the
+// classification difference.
+func VictimUnderFlap(cfg VictimFlapConfig) *Result {
+	if cfg.Horizon == 0 {
+		cfg.Horizon = 10 * units.Millisecond
+	}
+	if cfg.Sample == 0 {
+		cfg.Sample = 10 * units.Microsecond
+	}
+	if cfg.CrossRate == 0 {
+		cfg.CrossRate = 10 * units.Gbps
+	}
+	rig := NewFig2Rig(Fig2Opts{
+		Kind:   cfg.Kind,
+		Det:    cfg.Det,
+		Seed:   cfg.Seed,
+		Record: true,
+		Obs:    cfg.Obs,
+	})
+	res := NewResult(fmt.Sprintf("victim-under-flap-%s-%s", cfg.Kind, cfg.Det))
+
+	inj := rig.mustInjectFaults(&fault.Spec{Events: []fault.Event{{
+		Kind:     "flap",
+		Link:     "R0-T2",
+		AtUs:     cfg.FlapFrom.Micros(),
+		PeriodUs: cfg.FlapPeriod.Micros(),
+		DownUs:   cfg.FlapDown.Micros(),
+		UntilUs:  cfg.FlapUntil.Micros(),
+	}}})
+
+	line := 40 * units.Gbps
+	ccKind := CCDCQCN
+	if cfg.Kind == IB {
+		ccKind = CCIBCC
+	}
+	// F1: the victim. Long-lived, congestion-controlled, S1 -> R1; its
+	// own bottleneck (T2 -> R1) stays idle the whole run.
+	f1 := rig.Mgr.AddFlow(rig.F2.S1, rig.F2.R1, 10*1000*units.MB, 0, rig.NewCC(ccKind, line))
+	// F0/F2: constant-rate R0-bound cross traffic — the flows the flap
+	// actually strands.
+	f0 := rig.Mgr.AddFlow(rig.F2.S0, rig.F2.R0, 10*1000*units.MB, 100*units.Microsecond, host.FixedRate(cfg.CrossRate))
+	f2 := rig.Mgr.AddFlow(rig.F2.S2, rig.F2.R0, 10*1000*units.MB, 100*units.Microsecond, host.FixedRate(cfg.CrossRate))
+
+	tr := stats.NewTracer(rig.Sched, cfg.Sample, cfg.Horizon)
+	for i, p := range rig.ObservedPorts() {
+		p := p
+		res.Series[PortLabel(i)+"_queue"] = tr.Add(PortLabel(i)+" queue bytes", func() float64 {
+			return float64(p.TotalQueueBytes())
+		})
+	}
+	f1Rate := FlowRateProbe(f1, cfg.Sample)
+	res.Series["f1_rate"] = tr.Add("F1 goodput Gbps", func() float64 { return f1Rate() / 1e9 })
+	tr.Start()
+
+	rig.Run(cfg.Horizon)
+
+	for label, f := range map[string]*host.Flow{"f0": f0, "f1": f1, "f2": f2} {
+		res.Scalars[label+"_pkts"] = float64(f.PktsRxed)
+		res.Scalars[label+"_ce"] = float64(f.CEPackets)
+		res.Scalars[label+"_ue"] = float64(f.UEPackets)
+		res.Scalars[label+"_ce_frac"] = MarkedFraction(f, true)
+		res.Scalars[label+"_ue_frac"] = MarkedFraction(f, false)
+	}
+	res.Scalars["f1_goodput_gbps"] = float64(units.RateOf(f1.BytesRxed, cfg.Horizon)) / 1e9
+	res.Scalars["fault_actions_armed"] = float64(inj.Armed)
+	res.Scalars["fault_drops"] = float64(rig.Net.FaultDrops)
+	res.Scalars["fault_dropped_kb"] = float64(rig.Net.FaultDropPayload()) / 1000
+	res.Scalars["p1_pause_us"] = rig.P1.PauseTime.Micros()
+	res.Scalars["p2_pause_us"] = rig.P2.PauseTime.Micros()
+	res.Scalars["p2_max_queue_kb"] = res.Series["P2_queue"].Max() / 1000
+
+	if cfg.Det == DetTCD {
+		d := rig.TCDAt(rig.P2)
+		res.Scalars["p2_final_state"] = float64(d.State())
+		res.Scalars["p2_time_undetermined_us"] = d.TimeIn(core.Undetermined).Micros()
+		res.Scalars["p2_time_congestion_us"] = d.TimeIn(core.Congestion).Micros()
+	}
+	res.AddNote("flap R0-T2: %v down per %v period over [%v, %v]",
+		cfg.FlapDown, cfg.FlapPeriod, cfg.FlapFrom, cfg.FlapUntil)
+	return res
+}
+
+// DeadlockUnitConfig parameterizes the deadlock-unit experiment.
+type DeadlockUnitConfig struct {
+	// Kind selects the flow control whose wait cycle forms: CEE closes a
+	// PFC pause-wait loop, IB a CBFC credit-wait loop.
+	Kind FabricKind
+	// Horizon ends the run (the cycle forms within the first hundred
+	// microseconds; the horizon only bounds detection).
+	Horizon units.Time
+	// ScanEvery overrides the detector period (0 = detector default).
+	ScanEvery units.Time
+	// Seed feeds the rig's random streams.
+	Seed uint64
+	// Obs wires tracing/metrics/progress into the rig.
+	Obs obs.Config
+}
+
+// DefaultDeadlockUnitConfig returns the stock parameters: a 5 ms run on
+// the 3-switch ring.
+func DefaultDeadlockUnitConfig(kind FabricKind) DeadlockUnitConfig {
+	return DeadlockUnitConfig{Kind: kind, Horizon: 5 * units.Millisecond}
+}
+
+// DeadlockUnit drives the ring into a provable wait cycle and reports
+// what the detector attributed. Scalars: deadlocked (0/1), the detection
+// time, the cycle size, and how long the initial trigger had been
+// blocked when the scan caught it.
+func DeadlockUnit(cfg DeadlockUnitConfig) *Result {
+	if cfg.Horizon == 0 {
+		cfg.Horizon = 5 * units.Millisecond
+	}
+	rate := 40 * units.Gbps
+	ring := topo.NewRing(3, rate, units.Microsecond)
+	rig := NewRig(RigConfig{
+		Topo: ring.Topology,
+		Kind: cfg.Kind,
+		Det:  DetTCD,
+		Seed: cfg.Seed,
+		// Tiny flow-control buffers close the cycle quickly.
+		PFC:  pfc.Config{Xoff: 20 * units.KB, Xon: 18 * units.KB, Headroom: 20 * units.KB},
+		CBFC: cbfc.Config{Buffer: 20 * units.KB, Tc: 10 * units.Microsecond},
+		Obs:  cfg.Obs,
+	})
+	// Deliberately cyclic routing: everything not local is forwarded
+	// clockwise, so each inter-switch link carries two flows' transit
+	// traffic and the buffer dependencies form a loop.
+	rig.Net.Route = func(at packet.NodeID, pkt *packet.Packet) *fabric.Port {
+		i := ring.SwitchOf(at)
+		if i < 0 {
+			panic("deadlock-unit: unroutable node")
+		}
+		if pkt.Dst == ring.Hosts[i] {
+			return rig.Net.PortToward(at, pkt.Dst)
+		}
+		return rig.Net.PortToward(at, ring.Sw[(i+1)%3])
+	}
+
+	var (
+		pfcDet  *pfc.DeadlockDetector
+		cbfcDet *cbfc.StallDetector
+	)
+	if cfg.Kind == CEE {
+		pfcDet = pfc.AttachDeadlockDetector(rig.Net, cfg.ScanEvery)
+	} else {
+		cbfcDet = cbfc.AttachStallDetector(rig.Net, cfg.ScanEvery)
+	}
+
+	// Each host sends 2 MB to the host two hops clockwise: far more than
+	// the ring's total buffering, at line rate.
+	var flows []*host.Flow
+	for i := 0; i < 3; i++ {
+		flows = append(flows, rig.Mgr.AddFlow(ring.Hosts[i], ring.Hosts[(i+2)%3], 2*units.MB, 0, host.FixedRate(rate)))
+	}
+
+	rig.Run(cfg.Horizon)
+
+	res := NewResult(fmt.Sprintf("deadlock-unit-%s", cfg.Kind))
+	done := 0
+	for _, f := range flows {
+		if f.Done {
+			done++
+		}
+	}
+	res.Scalars["flows_done"] = float64(done)
+	stranded := rig.Net.Stranded()
+	res.Scalars["stranded_kb"] = float64(stranded.Bytes) / 1000
+	res.Scalars["stranded_ports"] = float64(len(stranded.Ports))
+
+	report := func(at units.Time, ports []string, trigger string, since units.Time, scans uint64) {
+		res.Scalars["deadlocked"] = 1
+		res.Scalars["detected_at_us"] = at.Micros()
+		res.Scalars["cycle_ports"] = float64(len(ports))
+		res.Scalars["trigger_blocked_us"] = since.Micros()
+		res.Scalars["scans"] = float64(scans)
+		res.AddNote("cycle %v, initial trigger %s (blocked %v before the scan)", ports, trigger, since)
+	}
+	res.Scalars["deadlocked"] = 0
+	if pfcDet != nil && pfcDet.Deadlocked() {
+		r0 := pfcDet.Reports[0]
+		report(r0.At, r0.Ports, r0.Trigger, r0.Since, pfcDet.Scans)
+	}
+	if cbfcDet != nil && cbfcDet.Stalled() {
+		r0 := cbfcDet.Reports[0]
+		report(r0.At, r0.Ports, r0.Trigger, r0.Since, cbfcDet.Scans)
+	}
+	return res
+}

@@ -5,6 +5,7 @@ import (
 
 	"github.com/tcdnet/tcd/internal/core"
 	"github.com/tcdnet/tcd/internal/fabric"
+	"github.com/tcdnet/tcd/internal/fault"
 	"github.com/tcdnet/tcd/internal/host"
 	"github.com/tcdnet/tcd/internal/obs"
 	"github.com/tcdnet/tcd/internal/stats"
@@ -43,6 +44,9 @@ type ObserveConfig struct {
 	// Obs wires event tracing, metrics and progress reporting into the
 	// rig (all off by default).
 	Obs obs.Config
+	// Faults arms a fault schedule against the run (nil/empty = none; an
+	// empty schedule leaves the run byte-identical to a fault-free one).
+	Faults *fault.Spec
 }
 
 // DefaultObserveConfig returns the paper-scale §3.1 parameters.
@@ -97,6 +101,7 @@ func observeWithArch(cfg ObserveConfig, arch fabric.Arch) *Result {
 		Obs:    cfg.Obs,
 	})
 	res := NewResult(name)
+	inj := rig.mustInjectFaults(cfg.Faults)
 
 	line := 40 * units.Gbps
 	crossRate := 5 * units.Gbps
@@ -178,6 +183,13 @@ func observeWithArch(cfg ObserveConfig, arch fabric.Arch) *Result {
 	res.Scalars["p2_max_queue_kb"] = res.Series["P2_queue"].Max() / 1000
 	res.Scalars["p3_max_queue_kb"] = res.Series["P3_queue"].Max() / 1000
 	res.Scalars["p2_pause_time_us"] = ports[2].PauseTime.Micros()
+	// Fault scalars only when something was armed: a fault-free run's
+	// result (the golden fig3/fig12 JSON) must stay byte-identical.
+	if inj.Armed > 0 {
+		res.Scalars["fault_actions_armed"] = float64(inj.Armed)
+		res.Scalars["fault_drops"] = float64(rig.Net.FaultDrops)
+		res.Scalars["fault_dropped_kb"] = float64(rig.Net.FaultDropPayload()) / 1000
+	}
 
 	if cfg.Det == DetTCD {
 		d := rig.TCDAt(rig.P2)

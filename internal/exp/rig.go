@@ -348,11 +348,17 @@ func (r *Rig) TCDAt(p *fabric.Port) *core.TCD {
 }
 
 // Run drives the simulation to the horizon, then populates the metrics
-// registry (if one was configured) from the run's counters.
+// registry (if one was configured) from the run's counters. Under
+// StrictInvariants it also audits the network-wide invariants.
 func (r *Rig) Run(horizon units.Time) {
 	r.Sched.RunUntil(horizon)
 	if r.Obs.Metrics != nil {
 		r.SnapshotMetrics(r.Obs.Metrics)
+	}
+	if StrictInvariants {
+		if err := CheckInvariants(r); err != nil {
+			panic("exp: " + err.Error())
+		}
 	}
 }
 

@@ -239,6 +239,16 @@ type Port struct {
 	// Ingress.
 	meter RxMeter
 
+	// Fault state (driven by the fault injector; see fault.go). A down
+	// port neither transmits nor delivers; a frozen port stops serving
+	// its egress queues while its ingress keeps forwarding (a hung egress
+	// pipeline). ctrlFault, if non-nil, intercepts outgoing control
+	// frames. Every hot-path test of these is a plain flag check, so a
+	// run with no faults executes exactly as it did before they existed.
+	down      bool
+	frozen    bool
+	ctrlFault func(f CtrlFrame) (drop bool, delay units.Time)
+
 	// label caches Name() for event records (hot path; Name sprintfs).
 	label string
 
@@ -251,6 +261,10 @@ type Port struct {
 	CtrlSent    uint64
 	PauseTime   units.Time // total time spent blocked (all priorities)
 	blockStart  units.Time
+	// FaultDrops counts frames this port destroyed because of a fault
+	// (data packets at egress or ingress of a down link, lost control
+	// frames).
+	FaultDrops uint64
 }
 
 // Name renders "node[idx]→peer" for traces and errors.
@@ -323,11 +337,28 @@ func (p *Port) AttachSource(s Source) { p.src = s }
 // propagation delay — yielding the paper's tau.
 func (p *Port) SendCtrl(f CtrlFrame) {
 	now := p.net.Sched.Now()
+	if p.down {
+		// A dead link carries no control frames.
+		return
+	}
+	var faultDelay units.Time
+	if p.ctrlFault != nil {
+		drop, delay := p.ctrlFault(f)
+		if drop {
+			p.FaultDrops++
+			p.net.FaultDrops++
+			if rec := p.net.cfg.Rec; rec != nil {
+				rec.Record(obs.Event{At: now, Kind: obs.KindFaultDrop, Port: p.Label(), Prio: f.Prio, Flow: -1, Val: int64(f.Kind)})
+			}
+			return
+		}
+		faultDelay = delay
+	}
 	wait := units.Time(0)
 	if p.busy && p.busyEnd > now {
 		wait = p.busyEnd - now
 	}
-	d := wait + units.TxTime(ctrlFrameBytes, p.Rate) + p.Delay
+	d := wait + units.TxTime(ctrlFrameBytes, p.Rate) + p.Delay + faultDelay
 	if p.net.cfg.CtrlJitter != nil {
 		d += p.net.cfg.CtrlJitter()
 	}
@@ -344,6 +375,15 @@ func (p *Port) SendCtrl(f CtrlFrame) {
 	}
 	peer := p.Peer
 	p.net.Sched.After(d, func() {
+		if peer.down {
+			// The link died while the frame was in flight.
+			peer.FaultDrops++
+			peer.net.FaultDrops++
+			if rec := peer.net.cfg.Rec; rec != nil {
+				rec.Record(obs.Event{At: peer.net.Sched.Now(), Kind: obs.KindFaultDrop, Port: peer.Label(), Prio: f.Prio, Flow: -1, Val: int64(f.Kind)})
+			}
+			return
+		}
 		if peer.gate != nil {
 			peer.gate.HandleCtrl(p.net.Sched.Now(), f)
 		}
@@ -474,7 +514,7 @@ func (p *Port) setBlocked(prio uint8, b bool) {
 // tryTransmit starts the next transmission if the port is idle. Strict
 // priority across queues (lowest index first), then the pull source.
 func (p *Port) tryTransmit() {
-	if p.busy {
+	if p.busy || p.down || p.frozen {
 		return
 	}
 	now := p.net.Sched.Now()
@@ -593,9 +633,18 @@ func (p *Port) txDone() {
 			ing.meter.OnFree(p.net.Sched.Now(), pkt)
 		}
 	}
+	if p.down {
+		// The link died during serialization: the frame is lost on the
+		// wire. Ingress accounting was already released above — the
+		// buffer space is free either way — so only the payload ledger
+		// moves from "in network" to "destroyed by fault".
+		p.dropFaulted(pkt)
+		return
+	}
 	// Propagate to the peer: the packet rides the event as its argument
 	// (several packets can be in flight on one link at once), through the
 	// peer's preallocated receive callback — no per-packet closure.
+	p.net.inFlightPayload += pkt.Payload
 	p.net.Sched.AfterArg(p.Delay, p.Peer.receiveFn, pkt)
 	p.tryTransmit()
 }
@@ -603,11 +652,19 @@ func (p *Port) txDone() {
 // receive handles a packet arriving from the wire at this (ingress) port.
 func (p *Port) receive(pkt *packet.Packet) {
 	now := p.net.Sched.Now()
+	if p.down {
+		p.net.inFlightPayload -= pkt.Payload
+		// The receiving side is dead: the frame falls off the wire before
+		// any ingress accounting sees it.
+		p.dropFaulted(pkt)
+		return
+	}
 	if p.meter != nil {
 		p.meter.OnArrive(now, pkt)
 	}
 	n := p.node
 	if n.kind == topo.Host {
+		p.net.inFlightPayload -= pkt.Payload
 		// Hosts consume at line rate: free ingress accounting immediately.
 		if p.meter != nil {
 			p.meter.OnFree(now, pkt)
@@ -635,8 +692,11 @@ func (p *Port) receive(pkt *packet.Packet) {
 		panic("fabric: Route returned a port of another node")
 	}
 	if p.net.cfg.SwitchDelay > 0 {
+		// The packet stays on the in-flight ledger through the forwarding
+		// pipeline; enqueueFn moves it to queue accounting on arrival.
 		p.net.Sched.AfterArg(p.net.cfg.SwitchDelay, out.enqueueFn, pkt)
 	} else {
+		p.net.inFlightPayload -= pkt.Payload
 		out.Enqueue(pkt)
 	}
 }
@@ -659,6 +719,20 @@ type Network struct {
 	// pool recycles packets within this single-threaded run: packets die
 	// at host sinks, where receive returns them for reuse by NewPacket.
 	pool packet.Pool
+
+	// Payload conservation ledger (see fault.go): inFlightPayload is the
+	// flow-payload volume currently on a wire or inside a switch
+	// forwarding pipeline (between txDone and the next Enqueue or host
+	// delivery); faultDropPayload is the volume destroyed by faults.
+	inFlightPayload  units.ByteSize
+	faultDropPayload units.ByteSize
+	// FaultDrops counts frames destroyed by faults network-wide.
+	FaultDrops uint64
+	// faulted latches once any fault primitive touches the network. The
+	// lossless guarantees (buffer bounds) are only promised on a fabric
+	// whose links and control plane were never disturbed, so the
+	// invariant checker relaxes those checks when this is set.
+	faulted bool
 
 	// Route picks the egress port for pkt at switch sw. It must be set
 	// before traffic flows.
@@ -701,7 +775,11 @@ func New(s *sim.Scheduler, t *topo.Topology, cfg Config) *Network {
 			p.txDoneFn = p.txDone
 			p.wakeFn = p.wake
 			p.receiveFn = func(arg any) { p.receive(arg.(*packet.Packet)) }
-			p.enqueueFn = func(arg any) { p.Enqueue(arg.(*packet.Packet)) }
+			p.enqueueFn = func(arg any) {
+				pkt := arg.(*packet.Packet)
+				n.inFlightPayload -= pkt.Payload
+				p.Enqueue(pkt)
+			}
 			nd.ports = append(nd.ports, p)
 			n.ports = append(n.ports, p)
 			return p

@@ -1,0 +1,276 @@
+// Fault surface of the dataplane: link and port failure primitives, the
+// payload-conservation ledger the invariant tests audit, and the
+// pause-wait graph that the PFC deadlock and CBFC credit-stall detectors
+// scan for cycles.
+//
+// All fault state is plain flags tested inline on the hot paths, so a run
+// that never touches this file schedules exactly the same events as one
+// built before it existed — the golden-trace byte-identity the fault
+// injector promises.
+
+package fabric
+
+import (
+	"github.com/tcdnet/tcd/internal/obs"
+	"github.com/tcdnet/tcd/internal/packet"
+	"github.com/tcdnet/tcd/internal/topo"
+	"github.com/tcdnet/tcd/internal/units"
+)
+
+// SetDown marks this side of the link down or up. A down port neither
+// starts transmissions nor delivers arriving frames: a frame caught
+// mid-serialization is lost on the wire, a frame mid-propagation is lost
+// at arrival if the receiving side is still down by then. Bringing the
+// port back up immediately re-evaluates its egress queues.
+func (p *Port) SetDown(down bool) {
+	if p.down == down {
+		return
+	}
+	p.down = down
+	p.net.faulted = true
+	if rec := p.net.cfg.Rec; rec != nil {
+		kind := obs.KindLinkUp
+		if down {
+			kind = obs.KindLinkDown
+		}
+		rec.Record(obs.Event{At: p.net.Sched.Now(), Kind: kind, Port: p.Label(), Flow: -1})
+	}
+	if !down && !p.busy {
+		p.tryTransmit()
+	}
+}
+
+// Down reports whether this side of the link is down.
+func (p *Port) Down() bool { return p.down }
+
+// SetFrozen freezes or thaws the port's egress pipeline: a frozen port
+// stops serving its queues (and its pull source) but keeps receiving,
+// forwarding and originating control frames — the signature of a hung
+// egress scheduler rather than a dead cable. Backpressure builds behind
+// it exactly as behind a paused port, which is what makes it the seed of
+// choice for growing a pause storm on demand.
+func (p *Port) SetFrozen(frozen bool) {
+	if p.frozen == frozen {
+		return
+	}
+	p.frozen = frozen
+	p.net.faulted = true
+	if rec := p.net.cfg.Rec; rec != nil {
+		kind := obs.KindThaw
+		if frozen {
+			kind = obs.KindFreeze
+		}
+		rec.Record(obs.Event{At: p.net.Sched.Now(), Kind: kind, Port: p.Label(), Flow: -1})
+	}
+	if !frozen && !p.busy {
+		p.tryTransmit()
+	}
+}
+
+// Frozen reports whether the port's egress pipeline is frozen.
+func (p *Port) Frozen() bool { return p.frozen }
+
+// SetCtrlFault installs (or, with nil, removes) an interceptor for
+// control frames originated by this port: drop loses the frame, a
+// non-zero delay stretches its delivery. The interceptor must be
+// deterministic given the run's seed.
+func (p *Port) SetCtrlFault(f func(CtrlFrame) (drop bool, delay units.Time)) {
+	p.ctrlFault = f
+	if f != nil {
+		p.net.faulted = true
+	}
+}
+
+// Faulted reports whether any fault primitive ever touched the network
+// (a latch, not current state: it stays set after links recover). While
+// clear, the fabric's lossless guarantees are in force.
+func (n *Network) Faulted() bool { return n.faulted }
+
+// dropFaulted destroys a data-plane frame killed by a fault: counts it,
+// records it, and recycles the packet. Ingress/in-flight ledgers must be
+// settled by the caller before the packet dies.
+func (p *Port) dropFaulted(pkt *packet.Packet) {
+	p.FaultDrops++
+	p.net.FaultDrops++
+	p.net.faultDropPayload += pkt.Payload
+	if rec := p.net.cfg.Rec; rec != nil {
+		rec.Record(obs.Event{
+			At: p.net.Sched.Now(), Kind: obs.KindFaultDrop, Port: p.Label(),
+			Prio: pkt.Priority, Flow: int64(pkt.Flow), Val: int64(pkt.Size),
+		})
+	}
+	p.net.pool.Put(pkt)
+}
+
+// SetLinkDown takes both sides of a topology link down (or up), which is
+// how real link faults present: loss of light is bidirectional.
+func (n *Network) SetLinkDown(link int, down bool) {
+	n.portAt[link][0].SetDown(down)
+	n.portAt[link][1].SetDown(down)
+}
+
+// FaultDropPayload reports the flow-payload volume destroyed by faults.
+func (n *Network) FaultDropPayload() units.ByteSize { return n.faultDropPayload }
+
+// InFlightPayload reports the flow-payload volume currently on a wire or
+// inside a switch forwarding pipeline — injected but not yet in any
+// queue, serializer, or sink.
+func (n *Network) InFlightPayload() units.ByteSize { return n.inFlightPayload }
+
+// ForEachQueued visits every packet the port currently holds — egress
+// FIFOs, virtual output queues, and the frame mid-serialization — in a
+// deterministic order.
+func (p *Port) ForEachQueued(fn func(*packet.Packet)) {
+	for prio := range p.queues {
+		q := &p.queues[prio]
+		for i := q.head; i < len(q.buf); i++ {
+			fn(q.buf[i])
+		}
+	}
+	for _, per := range p.voqs {
+		for vi := range per {
+			q := &per[vi]
+			for i := q.head; i < len(q.buf); i++ {
+				fn(q.buf[i])
+			}
+		}
+	}
+	if p.txPkt != nil {
+		fn(p.txPkt)
+	}
+}
+
+// QueuedPayload sums the flow-payload bytes held in every port's queues
+// and serializers. Together with InFlightPayload it is the "still in the
+// network" term of the conservation invariant.
+func (n *Network) QueuedPayload() units.ByteSize {
+	var total units.ByteSize
+	for _, p := range n.ports {
+		p.ForEachQueued(func(pkt *packet.Packet) { total += pkt.Payload })
+	}
+	return total
+}
+
+// waitsBlocked reports whether the port holds queued traffic on a
+// priority its gate currently refuses — the node condition for the
+// pause-wait graph. A port that is merely paused with nothing queued can
+// not sustain a cycle (it has nothing to contribute to downstream
+// occupancy), and a port with traffic but an open gate will drain.
+func (p *Port) waitsBlocked() bool {
+	for prio := range p.blocked {
+		if p.blocked[prio] && p.qbytes[prio] > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// WaitCycles finds the cycles of the pause-wait graph: nodes are ports
+// blocked with queued traffic, and there is an edge p→q when a packet
+// queued at p will, after crossing p's link, occupy egress port q of the
+// downstream switch (per the network's routing function). A cycle means
+// every member waits on buffer that only its own progress could free —
+// the circular buffer dependency that turns lossless backpressure into
+// deadlock. Cycles are returned as strongly connected components in a
+// deterministic order; attribution (which link paused first) is left to
+// the flow-control-specific detectors.
+func (n *Network) WaitCycles() [][]*Port {
+	if n.Route == nil {
+		return nil
+	}
+	idx := make(map[*Port]int, len(n.ports))
+	var blocked []*Port
+	for _, p := range n.ports {
+		if p.waitsBlocked() {
+			idx[p] = len(blocked)
+			blocked = append(blocked, p)
+		}
+	}
+	if len(blocked) < 2 {
+		return nil
+	}
+	adj := make([][]int, len(blocked))
+	for i, p := range blocked {
+		peer := p.Peer.node
+		if peer.kind != topo.Switch {
+			continue // hosts consume at line rate: the chain ends there
+		}
+		seen := make(map[int]bool)
+		p.ForEachQueued(func(pkt *packet.Packet) {
+			out := n.Route(peer.id, pkt)
+			if out == nil {
+				return
+			}
+			if j, ok := idx[out]; ok && !seen[j] {
+				seen[j] = true
+				adj[i] = append(adj[i], j)
+			}
+		})
+	}
+	return tarjanCycles(blocked, adj)
+}
+
+// tarjanCycles runs Tarjan's SCC algorithm over the blocked-port graph
+// and returns the components of size at least two — the actual wait
+// cycles. Recursion depth is bounded by the number of simultaneously
+// blocked ports, which even a deadlocked datacenter fabric keeps far
+// below stack limits.
+func tarjanCycles(ports []*Port, adj [][]int) [][]*Port {
+	n := len(ports)
+	const unvisited = -1
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = unvisited
+	}
+	var (
+		cycles  [][]*Port
+		stack   []int
+		next    = 0
+		callDfs func(v int)
+	)
+	callDfs = func(v int) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range adj[v] {
+			if index[w] == unvisited {
+				callDfs(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var comp []int
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			if len(comp) > 1 {
+				cyc := make([]*Port, 0, len(comp))
+				// Reverse to report in DFS (deterministic port-table) order.
+				for k := len(comp) - 1; k >= 0; k-- {
+					cyc = append(cyc, ports[comp[k]])
+				}
+				cycles = append(cycles, cyc)
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		if index[v] == unvisited {
+			callDfs(v)
+		}
+	}
+	return cycles
+}

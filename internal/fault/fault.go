@@ -1,0 +1,351 @@
+// Package fault is the deterministic fault injector: it turns a
+// declarative schedule (JSON or programmatic) of link and port failures
+// into cancellable scheduler events against a fabric.Network.
+//
+// Injectable primitives:
+//
+//   - link-down / link-up: both sides of a named link lose light at a
+//     sim timestamp (frames mid-wire are destroyed, queues freeze behind
+//     the dead egress) and come back later.
+//   - flap: periodic down/up toggling of a link over a window — the
+//     classic failing-optics signature that drives rerouting storms.
+//   - ctrl-loss / ctrl-delay: a directed port's outgoing control frames
+//     (PFC PAUSE/RESUME, CBFC FCCL) are dropped with a seeded
+//     probability or delivered late — the pause-loss and stale-credit
+//     hazards that break flow-control assumptions without touching data.
+//   - freeze / thaw: one port's egress pipeline hangs while its ingress
+//     keeps working — the seed for growing pause storms and, on cyclic
+//     routes, full PFC deadlock on demand.
+//
+// Determinism: every action is a regular scheduler event with a fixed
+// timestamp, and the only randomness (ctrl-loss coin flips) draws from a
+// per-rule seeded rng.Source, so the same spec and seed replay exactly.
+// An empty schedule arms nothing and installs nothing — runs without
+// faults stay byte-identical to runs built before this package existed.
+package fault
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+
+	"github.com/tcdnet/tcd/internal/fabric"
+	"github.com/tcdnet/tcd/internal/rng"
+	"github.com/tcdnet/tcd/internal/sim"
+	"github.com/tcdnet/tcd/internal/units"
+)
+
+// Event is one scheduled fault. Times are in microseconds of simulated
+// time; Link names an undirected link "A-B", Port a directed egress
+// "A->B" (the port owned by A on the link toward B).
+type Event struct {
+	// Kind is one of link-down, link-up, flap, ctrl-loss, ctrl-delay,
+	// freeze, thaw.
+	Kind string `json:"kind"`
+	// AtUs is when the fault takes effect.
+	AtUs float64 `json:"at_us"`
+	// Link selects both sides of an undirected link (link-down, link-up,
+	// flap; also accepted by freeze/thaw to freeze both sides).
+	Link string `json:"link,omitempty"`
+	// Port selects one directed egress port (ctrl-loss, ctrl-delay,
+	// freeze, thaw; also accepted by link-down/up for a one-sided fault).
+	Port string `json:"port,omitempty"`
+	// PeriodUs is the flap period (down edge to down edge).
+	PeriodUs float64 `json:"period_us,omitempty"`
+	// DownUs is how long each flap iteration stays down.
+	DownUs float64 `json:"down_us,omitempty"`
+	// UntilUs ends a flap window or a ctrl-loss/ctrl-delay rule
+	// (0 = the rule lasts for the rest of the run).
+	UntilUs float64 `json:"until_us,omitempty"`
+	// Prob is the ctrl-loss drop probability in [0, 1].
+	Prob float64 `json:"prob,omitempty"`
+	// DelayUs is the extra ctrl-delay delivery latency.
+	DelayUs float64 `json:"delay_us,omitempty"`
+	// Seed seeds the ctrl-loss coin flips (0 = derived from the rule's
+	// position in the spec).
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// Spec is a fault schedule.
+type Spec struct {
+	Events []Event `json:"events"`
+}
+
+// Empty reports whether the spec schedules nothing.
+func (s *Spec) Empty() bool { return s == nil || len(s.Events) == 0 }
+
+// ParseSpec decodes a JSON fault schedule.
+func ParseSpec(data []byte) (*Spec, error) {
+	var s Spec
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("fault: parsing spec: %w", err)
+	}
+	return &s, nil
+}
+
+// LoadSpec reads and decodes a JSON fault schedule from a file.
+func LoadSpec(path string) (*Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("fault: %w", err)
+	}
+	return ParseSpec(data)
+}
+
+// maxFlapToggles bounds the events one flap rule may expand into, so a
+// malformed spec (tiny period, huge window) fails loudly instead of
+// flooding the scheduler.
+const maxFlapToggles = 100000
+
+// Injector holds the armed fault events of one run.
+type Injector struct {
+	net *fabric.Network
+	ids []sim.EventID
+
+	// Armed counts the primitive actions scheduled.
+	Armed int
+	// first is the earliest action timestamp (units.Forever when none).
+	first units.Time
+}
+
+// usToTime converts spec microseconds to simulator time.
+func usToTime(us float64) units.Time {
+	return units.Time(math.Round(us * float64(units.Microsecond)))
+}
+
+// Inject validates spec against the network's topology and schedules
+// every action on the network's scheduler. It must be called before the
+// run starts (actions in the past are a spec error). The returned
+// Injector can Stop() to cancel everything still pending.
+func Inject(n *fabric.Network, spec *Spec) (*Injector, error) {
+	in := &Injector{net: n, first: units.Forever}
+	if spec.Empty() {
+		return in, nil
+	}
+	now := n.Sched.Now()
+	for i, ev := range spec.Events {
+		at := usToTime(ev.AtUs)
+		if at < now {
+			return nil, fmt.Errorf("fault: event %d (%s) at %v is in the past (now %v)", i, ev.Kind, at, now)
+		}
+		var err error
+		switch ev.Kind {
+		case "link-down":
+			err = in.armUpDown(i, ev, at, true)
+		case "link-up":
+			err = in.armUpDown(i, ev, at, false)
+		case "flap":
+			err = in.armFlap(i, ev, at)
+		case "ctrl-loss", "ctrl-delay":
+			err = in.armCtrlFault(i, ev, at)
+		case "freeze":
+			err = in.armFreeze(i, ev, at, true)
+		case "thaw":
+			err = in.armFreeze(i, ev, at, false)
+		default:
+			err = fmt.Errorf("unknown kind %q", ev.Kind)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("fault: event %d: %w", i, err)
+		}
+	}
+	return in, nil
+}
+
+// Stop cancels every armed action still pending.
+func (in *Injector) Stop() {
+	for _, id := range in.ids {
+		in.net.Sched.Cancel(id)
+	}
+	in.ids = in.ids[:0]
+}
+
+// FirstInjection reports the earliest armed action's timestamp, or
+// units.Forever for an empty schedule. Trace prefixes strictly before it
+// are guaranteed identical to the fault-free run.
+func (in *Injector) FirstInjection() units.Time { return in.first }
+
+// arm schedules one action and tracks its handle for Stop.
+func (in *Injector) arm(at units.Time, fn func()) {
+	id := in.net.Sched.At(at, fn)
+	in.ids = append(in.ids, id)
+	in.Armed++
+	if at < in.first {
+		in.first = at
+	}
+}
+
+// resolveLink resolves "A-B" to a topology link index. Node names may
+// themselves contain dashes, so every split position is tried.
+func (in *Injector) resolveLink(s string) (int, error) {
+	t := in.net.Topo
+	for i := 1; i < len(s)-1; i++ {
+		if s[i] != '-' {
+			continue
+		}
+		a, okA := t.Lookup(s[:i])
+		b, okB := t.Lookup(s[i+1:])
+		if okA && okB {
+			if li := t.LinkBetween(a, b); li >= 0 {
+				return li, nil
+			}
+			return -1, fmt.Errorf("no link between %q and %q", s[:i], s[i+1:])
+		}
+	}
+	return -1, fmt.Errorf("cannot resolve link %q", s)
+}
+
+// resolvePort resolves "A->B" to the egress port of A toward B.
+func (in *Injector) resolvePort(s string) (*fabric.Port, error) {
+	t := in.net.Topo
+	for i := 1; i+2 < len(s); i++ {
+		if s[i] != '-' || s[i+1] != '>' {
+			continue
+		}
+		a, okA := t.Lookup(s[:i])
+		b, okB := t.Lookup(s[i+2:])
+		if okA && okB {
+			if t.LinkBetween(a, b) < 0 {
+				return nil, fmt.Errorf("no link between %q and %q", s[:i], s[i+2:])
+			}
+			return in.net.PortToward(a, b), nil
+		}
+	}
+	return nil, fmt.Errorf("cannot resolve port %q", s)
+}
+
+// sides resolves an event's target to the affected ports: both sides of
+// Link, or the single directed Port.
+func (in *Injector) sides(ev Event) ([]*fabric.Port, error) {
+	switch {
+	case ev.Link != "" && ev.Port != "":
+		return nil, fmt.Errorf("give link or port, not both")
+	case ev.Link != "":
+		li, err := in.resolveLink(ev.Link)
+		if err != nil {
+			return nil, err
+		}
+		return []*fabric.Port{in.net.PortOn(in.net.Topo.Links[li].A, li), in.net.PortOn(in.net.Topo.Links[li].B, li)}, nil
+	case ev.Port != "":
+		p, err := in.resolvePort(ev.Port)
+		if err != nil {
+			return nil, err
+		}
+		return []*fabric.Port{p}, nil
+	default:
+		return nil, fmt.Errorf("needs a link or port target")
+	}
+}
+
+func (in *Injector) armUpDown(_ int, ev Event, at units.Time, down bool) error {
+	ports, err := in.sides(ev)
+	if err != nil {
+		return err
+	}
+	in.arm(at, func() {
+		for _, p := range ports {
+			p.SetDown(down)
+		}
+	})
+	return nil
+}
+
+func (in *Injector) armFreeze(_ int, ev Event, at units.Time, frozen bool) error {
+	ports, err := in.sides(ev)
+	if err != nil {
+		return err
+	}
+	in.arm(at, func() {
+		for _, p := range ports {
+			p.SetFrozen(frozen)
+		}
+	})
+	return nil
+}
+
+func (in *Injector) armFlap(_ int, ev Event, at units.Time) error {
+	ports, err := in.sides(ev)
+	if err != nil {
+		return err
+	}
+	period := usToTime(ev.PeriodUs)
+	downFor := usToTime(ev.DownUs)
+	until := usToTime(ev.UntilUs)
+	switch {
+	case period <= 0:
+		return fmt.Errorf("flap needs period_us > 0")
+	case downFor <= 0 || downFor >= period:
+		return fmt.Errorf("flap needs 0 < down_us < period_us")
+	case until <= at:
+		return fmt.Errorf("flap needs until_us past at_us")
+	case (int64(until-at)/int64(period)+1)*2 > maxFlapToggles:
+		return fmt.Errorf("flap expands to more than %d toggles", maxFlapToggles)
+	}
+	for t := at; t < until; t += period {
+		down, up := t, t+downFor
+		if up > until {
+			up = until
+		}
+		in.arm(down, func() {
+			for _, p := range ports {
+				p.SetDown(true)
+			}
+		})
+		in.arm(up, func() {
+			for _, p := range ports {
+				p.SetDown(false)
+			}
+		})
+	}
+	return nil
+}
+
+func (in *Injector) armCtrlFault(i int, ev Event, at units.Time) error {
+	ports, err := in.sides(ev)
+	if err != nil {
+		return err
+	}
+	var hook func(fabric.CtrlFrame) (bool, units.Time)
+	switch ev.Kind {
+	case "ctrl-loss":
+		if ev.Prob <= 0 || ev.Prob > 1 {
+			return fmt.Errorf("ctrl-loss needs prob in (0, 1]")
+		}
+		seed := ev.Seed
+		if seed == 0 {
+			// Derive a stable per-rule seed so two unseeded rules do not
+			// share a coin stream.
+			seed = 0x9e3779b97f4a7c15 * uint64(i+1)
+		}
+		src := rng.New(seed)
+		prob := ev.Prob
+		hook = func(fabric.CtrlFrame) (bool, units.Time) { return src.Float64() < prob, 0 }
+	case "ctrl-delay":
+		if ev.DelayUs <= 0 {
+			return fmt.Errorf("ctrl-delay needs delay_us > 0")
+		}
+		delay := usToTime(ev.DelayUs)
+		hook = func(fabric.CtrlFrame) (bool, units.Time) { return false, delay }
+	}
+	in.arm(at, func() {
+		for _, p := range ports {
+			p.SetCtrlFault(hook)
+		}
+	})
+	if ev.UntilUs > 0 {
+		until := usToTime(ev.UntilUs)
+		if until <= at {
+			return fmt.Errorf("%s needs until_us past at_us (or 0 for open-ended)", ev.Kind)
+		}
+		in.arm(until, func() {
+			for _, p := range ports {
+				p.SetCtrlFault(nil)
+			}
+		})
+	}
+	return nil
+}

@@ -1,0 +1,229 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/tcdnet/tcd/internal/cbfc"
+	"github.com/tcdnet/tcd/internal/fabric"
+	"github.com/tcdnet/tcd/internal/host"
+	"github.com/tcdnet/tcd/internal/packet"
+	"github.com/tcdnet/tcd/internal/sim"
+	"github.com/tcdnet/tcd/internal/topo"
+	"github.com/tcdnet/tcd/internal/units"
+)
+
+// line is a 2-host dumbbell: h0 — s0 — h1, with one flow h0 -> h1.
+type line struct {
+	sched *sim.Scheduler
+	net   *fabric.Network
+	mgr   *host.Manager
+	h0    packet.NodeID
+	h1    packet.NodeID
+	s0    packet.NodeID
+	flow  *host.Flow
+}
+
+func newLine(t *testing.T) *line {
+	t.Helper()
+	g := topo.New()
+	l := &line{sched: sim.New()}
+	l.s0 = g.AddSwitch("s0")
+	l.h0 = g.AddHost("h0")
+	l.h1 = g.AddHost("h1")
+	g.Connect(l.h0, l.s0, 40*units.Gbps, units.Microsecond)
+	g.Connect(l.h1, l.s0, 40*units.Gbps, units.Microsecond)
+	l.net = fabric.New(l.sched, g, fabric.DefaultConfig())
+	l.net.Route = func(at packet.NodeID, pkt *packet.Packet) *fabric.Port {
+		return l.net.PortToward(at, pkt.Dst)
+	}
+	l.mgr = host.Install(l.net, host.DefaultConfig())
+	l.flow = l.mgr.AddFlow(l.h0, l.h1, 200*units.KB, 0, host.FixedRate(40*units.Gbps))
+	return l
+}
+
+func TestFaultSpecParse(t *testing.T) {
+	s, err := ParseSpec([]byte(`{"events":[{"kind":"link-down","at_us":10,"link":"h0-s0"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Events) != 1 || s.Events[0].Kind != "link-down" || s.Events[0].AtUs != 10 {
+		t.Fatalf("bad decode: %+v", s)
+	}
+	if _, err := ParseSpec([]byte(`{"events":[{"kind":"flap","typo_field":1}]}`)); err == nil {
+		t.Fatal("unknown field must be rejected")
+	}
+	if !new(Spec).Empty() || !(*Spec)(nil).Empty() {
+		t.Fatal("nil/zero specs must report Empty")
+	}
+}
+
+func TestFaultSpecLoadMissingFile(t *testing.T) {
+	if _, err := LoadSpec("/nonexistent/spec.json"); err == nil {
+		t.Fatal("missing file must error")
+	}
+}
+
+func TestFaultInjectValidation(t *testing.T) {
+	l := newLine(t)
+	cases := []struct {
+		name string
+		ev   Event
+		want string
+	}{
+		{"unknown kind", Event{Kind: "meteor-strike", AtUs: 1, Link: "h0-s0"}, "unknown kind"},
+		{"no target", Event{Kind: "link-down", AtUs: 1}, "needs a link or port"},
+		{"both targets", Event{Kind: "link-down", AtUs: 1, Link: "h0-s0", Port: "h0->s0"}, "not both"},
+		{"bad link", Event{Kind: "link-down", AtUs: 1, Link: "h0-h9"}, "cannot resolve link"},
+		{"unconnected", Event{Kind: "link-down", AtUs: 1, Link: "h0-h1"}, "no link between"},
+		{"bad port", Event{Kind: "freeze", AtUs: 1, Port: "h0->h9"}, "cannot resolve port"},
+		{"flap no period", Event{Kind: "flap", AtUs: 1, Link: "h0-s0", DownUs: 1, UntilUs: 9}, "period_us > 0"},
+		{"flap down too long", Event{Kind: "flap", AtUs: 1, Link: "h0-s0", PeriodUs: 5, DownUs: 5, UntilUs: 9}, "down_us < period_us"},
+		{"flap empty window", Event{Kind: "flap", AtUs: 9, Link: "h0-s0", PeriodUs: 5, DownUs: 1, UntilUs: 9}, "until_us past at_us"},
+		{"flap explosion", Event{Kind: "flap", AtUs: 0, Link: "h0-s0", PeriodUs: 0.001, DownUs: 0.0005, UntilUs: 1e6}, "toggles"},
+		{"ctrl-loss bad prob", Event{Kind: "ctrl-loss", AtUs: 1, Port: "s0->h1", Prob: 1.5}, "prob in (0, 1]"},
+		{"ctrl-delay no delay", Event{Kind: "ctrl-delay", AtUs: 1, Port: "s0->h1"}, "delay_us > 0"},
+	}
+	for _, tc := range cases {
+		_, err := Inject(l.net, &Spec{Events: []Event{tc.ev}})
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: want error containing %q, got %v", tc.name, tc.want, err)
+		}
+	}
+}
+
+func TestFaultInjectRejectsPastEvents(t *testing.T) {
+	l := newLine(t)
+	l.sched.RunUntil(10 * units.Microsecond)
+	_, err := Inject(l.net, &Spec{Events: []Event{{Kind: "link-down", Link: "h0-s0", AtUs: 2}}})
+	if err == nil || !strings.Contains(err.Error(), "in the past") {
+		t.Fatalf("want past-event error, got %v", err)
+	}
+}
+
+func TestFaultInjectEmpty(t *testing.T) {
+	l := newLine(t)
+	inj, err := Inject(l.net, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inj.Armed != 0 || inj.FirstInjection() != units.Forever {
+		t.Fatalf("empty spec armed %d actions, first %v", inj.Armed, inj.FirstInjection())
+	}
+}
+
+func TestFaultFlapExpansion(t *testing.T) {
+	l := newLine(t)
+	inj, err := Inject(l.net, &Spec{Events: []Event{{
+		Kind: "flap", Link: "h0-s0", AtUs: 10, PeriodUs: 10, DownUs: 4, UntilUs: 45,
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Down edges at 10, 20, 30, 40; each paired with an up edge.
+	if inj.Armed != 8 {
+		t.Fatalf("want 8 toggles, armed %d", inj.Armed)
+	}
+	if inj.FirstInjection() != 10*units.Microsecond {
+		t.Fatalf("first injection %v, want 10us", inj.FirstInjection())
+	}
+}
+
+func TestFaultLinkDownStallsAndRecovers(t *testing.T) {
+	l := newLine(t)
+	_, err := Inject(l.net, &Spec{Events: []Event{
+		{Kind: "link-down", Link: "s0-h1", AtUs: 5},
+		{Kind: "link-up", Link: "s0-h1", AtUs: 100},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.sched.RunUntil(50 * units.Microsecond)
+	if l.flow.Done {
+		t.Fatal("flow completed across a dead link")
+	}
+	rxAtOutage := l.flow.BytesRxed
+	if l.net.FaultDrops == 0 {
+		t.Fatal("frames in flight at link-down should have been destroyed")
+	}
+	l.sched.RunUntil(400 * units.Microsecond)
+	if !l.flow.Done {
+		t.Fatalf("flow did not recover after link-up: rxed %d of %d", l.flow.BytesRxed, l.flow.Size)
+	}
+	if l.flow.BytesRxed <= rxAtOutage {
+		t.Fatal("no progress after recovery")
+	}
+	// Conservation across the fault: everything sent is delivered or
+	// destroyed (nothing queued or in flight after completion).
+	sent := l.flow.BytesSent()
+	accounted := l.flow.BytesRxed + l.net.FaultDropPayload() + l.net.InFlightPayload() + l.net.QueuedPayload()
+	if sent != accounted {
+		t.Fatalf("conservation: sent %d != accounted %d", sent, accounted)
+	}
+}
+
+func TestFaultFreezeStallsWithoutDrops(t *testing.T) {
+	l := newLine(t)
+	_, err := Inject(l.net, &Spec{Events: []Event{
+		{Kind: "freeze", Port: "s0->h1", AtUs: 5},
+		{Kind: "thaw", Port: "s0->h1", AtUs: 100},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.sched.RunUntil(50 * units.Microsecond)
+	if l.flow.Done {
+		t.Fatal("flow completed through a frozen egress")
+	}
+	if l.net.FaultDrops != 0 {
+		t.Fatal("freeze must not destroy frames, only stall them")
+	}
+	l.sched.RunUntil(400 * units.Microsecond)
+	if !l.flow.Done {
+		t.Fatal("flow did not recover after thaw")
+	}
+}
+
+func TestFaultStopCancelsPendingActions(t *testing.T) {
+	l := newLine(t)
+	inj, err := Inject(l.net, &Spec{Events: []Event{
+		{Kind: "link-down", Link: "s0-h1", AtUs: 10},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj.Stop()
+	l.sched.RunUntil(400 * units.Microsecond)
+	if !l.flow.Done {
+		t.Fatal("canceled fault still broke the run")
+	}
+	if l.net.Faulted() {
+		t.Fatal("network marked faulted though every action was canceled")
+	}
+}
+
+func TestFaultCtrlLossDeterminism(t *testing.T) {
+	drops := func() uint64 {
+		l := newLine(t)
+		// CBFC keeps periodic FCCL control frames flowing as long as
+		// traffic does, giving the loss hook something to flip coins on.
+		cbfc.Install(l.net, cbfc.DefaultConfig())
+		if _, err := Inject(l.net, &Spec{Events: []Event{
+			{Kind: "ctrl-loss", Port: "s0->h0", AtUs: 1, Prob: 0.5, Seed: 77},
+		}}); err != nil {
+			t.Fatal(err)
+		}
+		l.sched.RunUntil(300 * units.Microsecond)
+		if !l.net.Faulted() {
+			t.Fatal("ctrl-loss rule did not mark the network faulted")
+		}
+		return l.net.FaultDrops
+	}
+	a, b := drops(), drops()
+	if a == 0 {
+		t.Fatal("ctrl-loss at p=0.5 dropped nothing; the hook never ran")
+	}
+	if a != b {
+		t.Fatalf("same seed, different drops: %d vs %d", a, b)
+	}
+}

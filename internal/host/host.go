@@ -101,6 +101,18 @@ type Flow struct {
 // (zero if nothing arrived yet) — the time-to-first-byte metric.
 func (f *Flow) FirstByteAt() units.Time { return f.firstRxAt }
 
+// BytesSent reports the payload volume the sender's NIC has serialized
+// onto the wire so far (0 before the flow activates). Every byte it
+// counts is in the network or beyond: delivered, queued, in flight, or
+// destroyed by an injected fault — the injected side of the
+// conservation invariant.
+func (f *Flow) BytesSent() units.ByteSize {
+	if f.sender == nil {
+		return 0
+	}
+	return f.Size - f.sender.remaining
+}
+
 // Slowdown reports FCT relative to the given ideal baseline.
 func (f *Flow) Slowdown(baseline units.Time) float64 {
 	if !f.Done || baseline <= 0 {

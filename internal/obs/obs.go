@@ -70,6 +70,26 @@ const (
 	KindTCDState
 	// KindFlowDone: a flow's last byte arrived (Val is the FCT in ps).
 	KindFlowDone
+	// KindLinkDown: a fault took a port down (Port is the affected side).
+	KindLinkDown
+	// KindLinkUp: the fault cleared and the port came back up.
+	KindLinkUp
+	// KindFreeze: a fault froze a port's egress pipeline.
+	KindFreeze
+	// KindThaw: the frozen port resumed transmitting.
+	KindThaw
+	// KindFaultDrop: a fault destroyed a frame. For data packets Flow and
+	// Val (wire bytes) describe the casualty; for control frames Flow is
+	// -1 and Val is the CtrlKind.
+	KindFaultDrop
+	// KindDeadlock: the PFC deadlock detector found a pause-wait cycle
+	// (Port is the initial-trigger port, Val the cycle length, Aux the
+	// time the trigger has been paused in ps).
+	KindDeadlock
+	// KindCreditStall: the CBFC stall detector found a credit-wait cycle
+	// (Port is the initial-trigger port, Val the cycle length, Aux the
+	// time the trigger has been starved in ps).
+	KindCreditStall
 
 	numKinds
 )
@@ -91,6 +111,13 @@ var kindNames = [numKinds]string{
 	KindRateChange:      "cc.rate",
 	KindTCDState:        "tcd.state",
 	KindFlowDone:        "flow.done",
+	KindLinkDown:        "fault.linkdown",
+	KindLinkUp:          "fault.linkup",
+	KindFreeze:          "fault.freeze",
+	KindThaw:            "fault.thaw",
+	KindFaultDrop:       "fault.drop",
+	KindDeadlock:        "pfc.deadlock",
+	KindCreditStall:     "cbfc.stall",
 }
 
 func (k Kind) String() string {

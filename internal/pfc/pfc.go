@@ -44,6 +44,11 @@ func DefaultConfig() Config {
 type Gate struct {
 	port   *fabric.Port
 	paused []bool
+	// pausedSince records when the current pause began (units.Forever
+	// while unpaused) — the raw material for DCFIT-style initial-trigger
+	// attribution: in a pause-wait cycle, the gate with the earliest
+	// pausedSince is where the storm started.
+	pausedSince []units.Time
 	// Pauses counts PAUSE frames received.
 	Pauses uint64
 }
@@ -58,6 +63,9 @@ func (g *Gate) OnSend(uint8, units.ByteSize) {}
 func (g *Gate) HandleCtrl(now units.Time, f fabric.CtrlFrame) {
 	switch f.Kind {
 	case fabric.CtrlPause:
+		if !g.paused[f.Prio] {
+			g.pausedSince[f.Prio] = now
+		}
 		g.paused[f.Prio] = true
 		g.Pauses++
 		if rec := g.port.Recorder(); rec != nil {
@@ -66,6 +74,7 @@ func (g *Gate) HandleCtrl(now units.Time, f fabric.CtrlFrame) {
 	case fabric.CtrlResume:
 		if g.paused[f.Prio] {
 			g.paused[f.Prio] = false
+			g.pausedSince[f.Prio] = units.Forever
 			if rec := g.port.Recorder(); rec != nil {
 				rec.Record(obs.Event{At: now, Kind: obs.KindPauseOff, Port: g.port.Label(), Prio: f.Prio, Flow: -1})
 			}
@@ -76,6 +85,10 @@ func (g *Gate) HandleCtrl(now units.Time, f fabric.CtrlFrame) {
 
 // Paused reports the pause state of one priority.
 func (g *Gate) Paused(prio uint8) bool { return g.paused[prio] }
+
+// PausedSince reports when the current pause of one priority began, or
+// units.Forever if the priority is not paused.
+func (g *Gate) PausedSince(prio uint8) units.Time { return g.pausedSince[prio] }
 
 // Meter is the downstream ingress side: occupancy accounting and
 // PAUSE/RESUME origination.
@@ -128,6 +141,13 @@ func (m *Meter) OnFree(now units.Time, pkt *packet.Packet) {
 // Occupancy reports current ingress occupancy for one priority.
 func (m *Meter) Occupancy(prio uint8) units.ByteSize { return m.occ[prio] }
 
+// PauseOutstanding reports whether this meter holds an un-resumed PAUSE
+// for one priority. The meter keeps PAUSE outstanding exactly while
+// occupancy sits above Xon — OnFree resumes the moment it drains — so
+// (outstanding && occupancy <= Xon) is the Xoff-without-eventual-Xon
+// violation the invariant checker looks for.
+func (m *Meter) PauseOutstanding(prio uint8) bool { return m.sent[prio] }
+
 // Install attaches PFC to every link: a Gate on every egress port and a
 // Meter on every switch ingress port. Hosts receive no meter (receivers
 // consume at line rate and never pause the fabric), but host egress ports
@@ -136,7 +156,10 @@ func (m *Meter) Occupancy(prio uint8) units.ByteSize { return m.occ[prio] }
 func Install(n *fabric.Network, cfg Config) {
 	nPrio := n.Config().Priorities
 	for _, p := range n.Ports() {
-		g := &Gate{port: p, paused: make([]bool, nPrio)}
+		g := &Gate{port: p, paused: make([]bool, nPrio), pausedSince: make([]units.Time, nPrio)}
+		for prio := range g.pausedSince {
+			g.pausedSince[prio] = units.Forever
+		}
 		p.AttachGate(g)
 		if n.Topo.Nodes[p.Node()].Kind == topo.Switch {
 			m := &Meter{

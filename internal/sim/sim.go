@@ -137,6 +137,13 @@ func (s *Scheduler) AfterArg(d units.Time, fn func(any), arg any) EventID {
 }
 
 func (s *Scheduler) schedule(t units.Time, fn func(), afn func(any), arg any) EventID {
+	if s.stopped {
+		// A stopped scheduler has drained its heap and retains nothing;
+		// accepting new events would silently re-grow it from stale
+		// timers (armed sim.Timers re-arming out of teardown paths).
+		// Scheduling after Stop is a no-op until the next RunUntil.
+		return NoEvent
+	}
 	if t < s.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
 	}
@@ -359,6 +366,54 @@ func (s *Scheduler) Stop() {
 	s.heap = s.heap[:pad]
 }
 
+// Stopped reports whether the scheduler is stopped (Stop was called and
+// no RunUntil has restarted it). A stopped scheduler silently rejects new
+// events.
+func (s *Scheduler) Stopped() bool { return s.stopped }
+
+// DebugCheck verifies the internal consistency of the indexed heap: the
+// heap property over every parent/child pair, slot-table backpointers
+// matching heap positions, and free slots being truly dead. It is O(n)
+// and meant for tests (the fault-schedule fuzzer calls it after every
+// run); it returns the first violation found, or nil.
+func (s *Scheduler) DebugCheck() error {
+	live := 0
+	for i := pad; i < len(s.heap); i++ {
+		k := &s.heap[i]
+		if i > pad {
+			p := (i + 8) >> 2
+			if less(k, &s.heap[p]) {
+				return fmt.Errorf("sim: heap property violated at index %d (parent %d)", i, p)
+			}
+		}
+		slot := k.slotIdx()
+		if int(slot) >= len(s.slots) {
+			return fmt.Errorf("sim: heap index %d references slot %d beyond table (%d)", i, slot, len(s.slots))
+		}
+		ref := &s.slots[slot]
+		if int(ref.idx) != i {
+			return fmt.Errorf("sim: slot %d backpointer %d, heap position %d", slot, ref.idx, i)
+		}
+		if ref.fn == nil && ref.afn == nil {
+			return fmt.Errorf("sim: queued slot %d has no callback", slot)
+		}
+		live++
+	}
+	for _, slot := range s.freeSlots {
+		ref := &s.slots[slot]
+		if ref.idx >= 0 {
+			return fmt.Errorf("sim: free slot %d still points at heap index %d", slot, ref.idx)
+		}
+		if ref.fn != nil || ref.afn != nil || ref.arg != nil {
+			return fmt.Errorf("sim: free slot %d retains a callback or argument", slot)
+		}
+	}
+	if live+len(s.freeSlots) != len(s.slots) {
+		return fmt.Errorf("sim: %d live + %d free != %d slots", live, len(s.freeSlots), len(s.slots))
+	}
+	return nil
+}
+
 // Pending reports the number of queued events.
 func (s *Scheduler) Pending() int { return len(s.heap) - pad }
 
@@ -423,17 +478,25 @@ func NewTimer(s *Scheduler, fn func()) *Timer {
 	return t
 }
 
-// Arm (re)schedules the timer to fire d from now, replacing any pending arm.
+// Arm (re)schedules the timer to fire d from now, replacing any pending
+// arm. Arming against a stopped scheduler is a no-op: Stop() drained the
+// queue and invalidated every handle, so a stale timer re-arming out of a
+// teardown path must not resurrect events (the timer stays unarmed).
 func (t *Timer) Arm(d units.Time) {
 	if d < 0 {
 		d = 0
 	}
 	at := t.s.Now() + d
-	t.armedAt = at
 	if t.id != NoEvent && t.s.Reschedule(t.id, at) {
+		t.armedAt = at
 		return
 	}
 	t.id = t.s.At(at, t.fireFn)
+	if t.id == NoEvent {
+		t.armedAt = units.Never
+		return
+	}
+	t.armedAt = at
 }
 
 func (t *Timer) fire() {

@@ -400,3 +400,83 @@ func BenchmarkScheduler(b *testing.B) {
 	b.ResetTimer()
 	s.Run()
 }
+
+// Regression: Stop() drains the heap, but a sim.Timer armed before the
+// stop still holds a stale EventID. Re-arming (or rescheduling) it after
+// Stop must be a no-op — before the fix, Timer.Arm fell through to At()
+// and planted a fresh event into the drained scheduler, resurrecting the
+// closure (and everything it captured) past teardown.
+func TestPostStopArmAndRescheduleAreNoOps(t *testing.T) {
+	s := New()
+	fired := 0
+	tm := NewTimer(s, func() { fired++ })
+	tm.Arm(5 * units.Microsecond)
+	id := s.At(7*units.Microsecond, func() { fired++ })
+
+	s.At(units.Microsecond, func() { s.Stop() })
+	s.Run()
+	if fired != 0 {
+		t.Fatalf("fired %d events before Stop, want 0", fired)
+	}
+
+	// Direct scheduling into a stopped scheduler is rejected.
+	if got := s.At(10*units.Microsecond, func() { fired++ }); got != NoEvent {
+		t.Errorf("At after Stop returned %v, want NoEvent", got)
+	}
+	if got := s.AfterArg(units.Microsecond, func(any) { fired++ }, nil); got != NoEvent {
+		t.Errorf("AfterArg after Stop returned %v, want NoEvent", got)
+	}
+	// Stale handles cannot be revived.
+	if s.Reschedule(id, 20*units.Microsecond) {
+		t.Error("Reschedule of a drained event reported live")
+	}
+	// Timer re-arm with its stale EventID is swallowed too.
+	tm.Arm(3 * units.Microsecond)
+	if tm.Armed() {
+		t.Error("Timer.Armed() true after arming a stopped scheduler")
+	}
+	if got := s.Pending(); got != 0 {
+		t.Fatalf("Pending() = %d after post-Stop arms, want 0", got)
+	}
+	s.Run()
+	if fired != 0 {
+		t.Errorf("post-Stop events fired %d times, want 0", fired)
+	}
+
+	// RunUntil restarts the scheduler: new events are accepted again and
+	// the revived timer works normally.
+	s.RunUntil(s.Now())
+	tm.Arm(2 * units.Microsecond)
+	if !tm.Armed() {
+		t.Fatal("Timer did not arm after the scheduler restarted")
+	}
+	s.Run()
+	if fired != 1 {
+		t.Errorf("fired %d after restart, want 1", fired)
+	}
+	if err := s.DebugCheck(); err != nil {
+		t.Errorf("DebugCheck: %v", err)
+	}
+}
+
+// DebugCheck accepts a heavily churned scheduler.
+func TestDebugCheckOnChurn(t *testing.T) {
+	s := New()
+	var ids []EventID
+	for i := 0; i < 500; i++ {
+		ids = append(ids, s.At(units.Time(1+i%37), func() {}))
+		if i%3 == 0 {
+			s.Cancel(ids[i/2])
+		}
+		if i%5 == 0 {
+			s.Reschedule(ids[i/3], units.Time(40+i%11))
+		}
+		if err := s.DebugCheck(); err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+	}
+	s.Run()
+	if err := s.DebugCheck(); err != nil {
+		t.Fatalf("after run: %v", err)
+	}
+}

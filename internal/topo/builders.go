@@ -124,6 +124,57 @@ func NewTestbed(rate units.Rate, delay units.Time) *Testbed {
 	return tb
 }
 
+// Ring is a unidirectional ring of n switches (s0..s{n-1}) with one host
+// per switch — the canonical cyclic-buffer-dependency topology. With
+// clockwise-only routing and hop-by-hop flow control, transit traffic on
+// every inter-switch link waits on buffer space at the next, and the
+// waits close into a loop: the deadlock-unit experiment and the PFC
+// deadlock / CBFC credit-stall detectors are exercised on it.
+type Ring struct {
+	*Topology
+	N     int
+	Sw    []packet.NodeID // Sw[i] = switch s<i>
+	Hosts []packet.NodeID // Hosts[i] = host h<i>, attached to Sw[i]
+	// HostLinks[i] is h<i>'s access link; RingLinks[i] connects s<i> to
+	// s<(i+1)%n>.
+	HostLinks, RingLinks []int
+}
+
+// NewRing builds an n-switch ring (n >= 3) with uniform link rate and
+// delay. Routing is the caller's choice: shortest-path stays loop-free,
+// while clockwise-only forwarding (what the deadlock-unit experiment
+// wires) creates the cyclic dependency on purpose.
+func NewRing(n int, rate units.Rate, delay units.Time) *Ring {
+	if n < 3 {
+		panic(fmt.Sprintf("topo: ring requires n >= 3 switches, got %d", n))
+	}
+	t := New()
+	r := &Ring{Topology: t, N: n}
+	for i := 0; i < n; i++ {
+		r.Sw = append(r.Sw, t.AddSwitch(fmt.Sprintf("s%d", i)))
+	}
+	for i := 0; i < n; i++ {
+		h := t.AddHost(fmt.Sprintf("h%d", i))
+		r.Hosts = append(r.Hosts, h)
+		r.HostLinks = append(r.HostLinks, t.Connect(h, r.Sw[i], rate, delay))
+	}
+	for i := 0; i < n; i++ {
+		r.RingLinks = append(r.RingLinks, t.Connect(r.Sw[i], r.Sw[(i+1)%n], rate, delay))
+	}
+	return r
+}
+
+// SwitchOf returns the index of the switch a node sits on (its own index
+// for a switch, the attachment switch for a host), or -1 if unknown.
+func (r *Ring) SwitchOf(id packet.NodeID) int {
+	for i := 0; i < r.N; i++ {
+		if r.Sw[i] == id || r.Hosts[i] == id {
+			return i
+		}
+	}
+	return -1
+}
+
 // FatTree is a k-ary fat-tree: (k/2)^2 cores, k pods of k/2 aggregation
 // and k/2 edge switches, and k^3/4 hosts. The structural metadata is kept
 // so D-mod-k routing can pick deterministic up-paths.
