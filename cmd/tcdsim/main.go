@@ -282,8 +282,13 @@ func main() {
 		doSweep  = flag.Bool("sweep", false, "run the multi-seed sweep engine even for -runs 1")
 		parallel = flag.Int("parallel", 0, "sweep worker count (0 = GOMAXPROCS); runs stay deterministic per seed")
 
-		traceOut     = flag.String("trace-out", "", "write the structured event trace as JSONL to this file (observation experiments)")
-		traceCap     = flag.Int("trace-cap", obs.DefaultRingCap, "event-trace ring capacity; oldest events drop beyond it")
+		traceOut     = flag.String("trace-out", "", "stream the structured event trace as JSONL to this file (spill-to-disk; observation experiments)")
+		traceGzip    = flag.Bool("trace-gzip", false, "gzip-compress the -trace-out stream")
+		traceChunkMB = flag.Int("trace-chunk-mb", 64, "rotate -trace-out into numbered chunks of this many MB")
+		traceMaxMB   = flag.Int("trace-max-mb", 0, "cap total -trace-out disk usage in MB, dropping the oldest chunks (0 = unlimited)")
+		telemetry    = flag.Bool("telemetry", false, "fold the event stream into bounded-memory histograms (FCT, queue depth, pause/stall durations, mark gaps)")
+		httpAddr     = flag.String("http", "", "serve live /metrics (Prometheus text), /progress (JSON) and /debug/pprof on this address during the run")
+		httpLinger   = flag.Duration("http-linger", 0, "keep the -http endpoint up this long after the run finishes")
 		metricsOut   = flag.String("metrics-out", "", "write the labeled metrics registry as JSON to this file")
 		progress     = flag.Bool("progress", false, "print sim-vs-wall progress lines to stderr during the run")
 		cpuprofile   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
@@ -342,10 +347,35 @@ func main() {
 		o.faults = spec
 	}
 
-	var ring *obs.Ring
+	var spill *obs.Spill
 	if *traceOut != "" {
-		ring = obs.NewRing(*traceCap)
-		o.obs.Rec = ring
+		sp, err := obs.NewSpill(*traceOut, obs.SpillOptions{
+			ChunkBytes: int64(*traceChunkMB) << 20,
+			MaxBytes:   int64(*traceMaxMB) << 20,
+			Gzip:       *traceGzip,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			os.Exit(1)
+		}
+		spill = sp
+		o.obs.Rec = spill
+	}
+	if *telemetry || *httpAddr != "" {
+		// The live endpoint serves telemetry-derived metrics, so -http
+		// implies -telemetry.
+		o.obs.Telemetry = obs.NewTelemetry(nil)
+	}
+	var live *obs.Live
+	if *httpAddr != "" {
+		lv, err := obs.ServeLive(*httpAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "http: %v\n", err)
+			os.Exit(1)
+		}
+		live = lv
+		o.obs.Live = live
+		fmt.Fprintf(os.Stderr, "live: http://%s (/metrics, /progress, /debug/pprof)\n", live.Addr())
 	}
 	if *metricsOut != "" {
 		o.obs.Metrics = obs.NewRegistry()
@@ -410,13 +440,15 @@ func main() {
 		}
 	}
 
-	if ring != nil {
-		if err := exportFile(*traceOut, ring.WriteJSONL); err != nil {
+	if spill != nil {
+		if err := spill.Close(); err != nil {
 			fmt.Fprintf(os.Stderr, "trace export: %v\n", err)
 			os.Exit(1)
 		}
-		if n := ring.Dropped(); n > 0 {
-			fmt.Fprintf(os.Stderr, "trace: ring overflowed, oldest %d events dropped (raise -trace-cap)\n", n)
+		fmt.Fprintf(os.Stderr, "trace: %d events, %d bytes in %d chunk(s) -> %s\n",
+			spill.Written(), spill.Bytes(), spill.Chunks(), *traceOut)
+		if n := spill.Dropped(); n > 0 {
+			fmt.Fprintf(os.Stderr, "trace: disk cap reached, oldest %d events dropped (raise -trace-max-mb)\n", n)
 		}
 	}
 	if o.obs.Metrics != nil {
@@ -437,6 +469,16 @@ func main() {
 		out = os.Stderr
 	}
 	fmt.Fprintf(out, "(%s, wall %v)\n", chosen.name, time.Since(start).Round(time.Millisecond))
+
+	if live != nil {
+		if *httpLinger > 0 {
+			// CI smoke tests (and humans) can scrape the final snapshot
+			// before the process exits.
+			fmt.Fprintf(os.Stderr, "live: lingering %v on http://%s\n", *httpLinger, live.Addr())
+			time.Sleep(*httpLinger)
+		}
+		live.Close()
+	}
 }
 
 // runSweep repeats the chosen experiment over o.runs consecutive seeds
@@ -462,8 +504,13 @@ func runSweep(chosen *runner, o options, workers int, progress bool, jsonOut, cs
 		ro.seed = sp.Seed
 		ro.runs = 1
 		// Shared trace/metrics sinks would interleave events from
-		// concurrently running simulations; sweeps run without them.
+		// concurrently running simulations; sweeps run without them. A
+		// telemetry fold is per-run state, so each worker gets a private
+		// one and Aggregate merges the histograms across seeds.
 		ro.obs = obs.Config{}
+		if o.obs.Telemetry != nil {
+			ro.obs.Telemetry = obs.NewTelemetry(nil)
+		}
 		return chosen.run(ro)
 	}
 	opt := sweep.Options{Parallel: workers}

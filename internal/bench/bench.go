@@ -142,6 +142,28 @@ func observeCase(name string, kind exp.FabricKind, det exp.DetectorKind, horizon
 	})
 }
 
+// observeTelemetryCase times the same fig3 run with the full streaming
+// telemetry stack attached (event fold, histograms, windowed queue
+// sampler), so every report records the recorder-enabled overhead next
+// to the recorder-disabled baseline case.
+func observeTelemetryCase(name string, kind exp.FabricKind, horizon units.Time, iters int) Case {
+	return measure(name, iters, func() (uint64, map[string]float64) {
+		cfg := exp.DefaultObserveConfig(kind, exp.DetBaseline, false)
+		cfg.Horizon = horizon
+		cfg.BurstRounds = 10
+		cfg.Seed = 42
+		reg := obs.NewRegistry()
+		tel := obs.NewTelemetry(nil)
+		cfg.Obs = obs.Config{Metrics: reg, Telemetry: tel}
+		res := exp.Observe(cfg)
+		return uint64(reg.Counter("sched_events").Value()), map[string]float64{
+			"p2_max_queue_kb": res.Scalars["p2_max_queue_kb"],
+			"fct_hist_n":      float64(tel.FCT.Count()),
+			"queue_hist_n":    float64(tel.QueueDepth.Count()),
+		}
+	})
+}
+
 // schedCase measures the event queue in isolation at a fixed depth: a
 // churn loop of push, pop, cancel and reschedule against a scheduler
 // preloaded with depth pending events. EventsPerSec counts queue
@@ -206,8 +228,11 @@ func (r Regression) String() string {
 }
 
 // GuardCases are the end-to-end cases the CI regression guard compares
-// across revisions (the fig3 single-congestion-point runs).
-var GuardCases = []string{"observe-cee-baseline", "observe-ib-baseline"}
+// across revisions: the fig3 single-congestion-point runs with the
+// recorder disabled, plus the telemetry-enabled variant so the streaming
+// collector's overhead cannot silently creep. Compare skips cases the
+// prior report lacks, so older reports keep guarding what they have.
+var GuardCases = []string{"observe-cee-baseline", "observe-ib-baseline", "observe-cee-telemetry"}
 
 // Compare checks cur against prev for the guard cases and returns the
 // ns/op and allocs/op regressions exceeding tol (0.15 = fail above
@@ -264,6 +289,7 @@ func Run(cfg Config) *Report {
 	r.Cases = append(r.Cases,
 		observeCase("observe-cee-baseline", exp.CEE, exp.DetBaseline, cfg.Horizon, cfg.Iters),
 		observeCase("observe-cee-tcd", exp.CEE, exp.DetTCD, cfg.Horizon, cfg.Iters),
+		observeTelemetryCase("observe-cee-telemetry", exp.CEE, cfg.Horizon, cfg.Iters),
 		observeCase("observe-ib-baseline", exp.IB, exp.DetBaseline, cfg.Horizon, cfg.Iters),
 		measure("table3", cfg.Iters, func() (uint64, map[string]float64) {
 			res, _ := exp.Table3(cfg.Horizon, 42)

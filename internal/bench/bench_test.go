@@ -22,7 +22,8 @@ func TestRunProducesReport(t *testing.T) {
 		t.Fatalf("report header incomplete: %+v", r)
 	}
 	wantCases := []string{
-		"observe-cee-baseline", "observe-cee-tcd", "observe-ib-baseline", "table3",
+		"observe-cee-baseline", "observe-cee-tcd", "observe-cee-telemetry",
+		"observe-ib-baseline", "table3",
 		"sched-depth-1k", "sched-depth-16k", "sched-depth-256k",
 	}
 	if len(r.Cases) != len(wantCases) {

@@ -13,8 +13,17 @@ import (
 	"sort"
 	"strings"
 
+	"github.com/tcdnet/tcd/internal/obs"
 	"github.com/tcdnet/tcd/internal/stats"
+	"github.com/tcdnet/tcd/internal/units"
 )
+
+// TracerCap bounds the samples each fig-runner tracer retains per
+// series (see stats.Tracer.SetCap). It exceeds every default-horizon
+// sample count (fairness: 1200, testbed: 20, observe: 800) so default
+// runs — and the golden JSONs — are byte-identical to uncapped runs,
+// while arbitrarily long -full horizons stay within a fixed footprint.
+const TracerCap = 1 << 13
 
 // Result is the structured output of one experiment run.
 type Result struct {
@@ -24,6 +33,10 @@ type Result struct {
 	Scalars map[string]float64
 	// Series are sampled time series (queue length, rates, marks).
 	Series map[string]*stats.Series
+	// Hists are the run's streaming telemetry histograms (FCT, queue
+	// depth, pause durations...). Nil unless telemetry was enabled, so
+	// default runs keep their golden JSON byte-identical.
+	Hists map[string]*obs.Hist
 	// Tables are rendered text blocks (FCT breakdowns etc.).
 	Tables []string
 	// Notes carry shape observations for EXPERIMENTS.md.
@@ -65,6 +78,16 @@ func (r *Result) Render() string {
 	for _, n := range r.Notes {
 		fmt.Fprintf(&sb, "  note: %s\n", n)
 	}
+	hkeys := make([]string, 0, len(r.Hists))
+	for k := range r.Hists {
+		hkeys = append(hkeys, k)
+	}
+	sort.Strings(hkeys)
+	for _, k := range hkeys {
+		h := r.Hists[k]
+		fmt.Fprintf(&sb, "  hist %-32s n=%d min=%d p50=%d p99=%d max=%d\n",
+			k, h.Count(), h.Min(), h.Quantile(0.5), h.Quantile(0.99), h.Max())
+	}
 	skeys := make([]string, 0, len(r.Series))
 	for k := range r.Series {
 		skeys = append(skeys, k)
@@ -75,6 +98,25 @@ func (r *Result) Render() string {
 		fmt.Fprintf(&sb, "  series %-32s samples=%d max=%.4g\n", k, len(s.T), s.Max())
 	}
 	return sb.String()
+}
+
+// AttachTelemetry folds a run's streaming histograms into the result
+// (no-op when telemetry is off, keeping default outputs byte-identical).
+// The queue-depth window ring additionally exports as a regular series
+// of per-window means so it rides the existing series plumbing.
+func (r *Result) AttachTelemetry(tel *obs.Telemetry) {
+	if tel == nil {
+		return
+	}
+	r.Hists = tel.Hists()
+	if wins := tel.QueueWin.Windows(); len(wins) > 0 {
+		s := &stats.Series{Name: "telemetry queue window mean (bytes)"}
+		for _, w := range wins {
+			s.T = append(s.T, units.Time(w.Index)*tel.QueueWin.Width())
+			s.V = append(s.V, w.Mean())
+		}
+		r.Series["telemetry_queue_win"] = s
+	}
 }
 
 // jsonSeries is the export shape of one time series.
@@ -100,8 +142,9 @@ func (r *Result) WriteJSON(w io.Writer) error {
 		Scalars map[string]float64    `json:"scalars"`
 		Tables  []string              `json:"tables,omitempty"`
 		Notes   []string              `json:"notes,omitempty"`
+		Hists   map[string]*obs.Hist  `json:"hists,omitempty"`
 		Series  map[string]jsonSeries `json:"series"`
-	}{r.Name, r.Scalars, r.Tables, r.Notes, series}
+	}{r.Name, r.Scalars, r.Tables, r.Notes, r.Hists, series}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(&out)

@@ -70,6 +70,9 @@ func Fairness(cfg FairnessConfig) *Result {
 	}
 
 	tr := stats.NewTracer(rig.Sched, cfg.Sample, cfg.Horizon)
+	// Long -full runs (400 ms) must not grow memory with run length; the
+	// fairness scalars are window means, which decimation preserves.
+	tr.SetCap(TracerCap)
 	for i, f := range bFlows {
 		probe := FlowRateProbe(f, cfg.Sample)
 		res.Series[fmt.Sprintf("b%d_gbps", i)] = tr.Add(

@@ -172,6 +172,7 @@ func FatTree(cfg FatTreeConfig) *FatTreeOutcome {
 	res.Scalars["slowdown_p99"] = out.Overall.P(0.99)
 	res.Scalars["mean_mct_us"] = out.MeanMCTus
 	res.Tables = append(res.Tables, out.Slowdowns.Table("FCT slowdown by size"))
+	res.AttachTelemetry(cfg.Obs.Telemetry)
 	return out
 }
 

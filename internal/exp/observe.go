@@ -202,5 +202,6 @@ func observeWithArch(cfg ObserveConfig, arch fabric.Arch) *Result {
 		d1 := rig.TCDAt(rig.P1)
 		res.Scalars["p1_final_state"] = float64(d1.State())
 	}
+	res.AttachTelemetry(cfg.Obs.Telemetry)
 	return res
 }

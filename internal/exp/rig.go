@@ -1,7 +1,9 @@
 package exp
 
 import (
+	"bytes"
 	"fmt"
+	"time"
 
 	"github.com/tcdnet/tcd/internal/cbfc"
 	"github.com/tcdnet/tcd/internal/cc"
@@ -174,6 +176,9 @@ type Rig struct {
 	PFCCfg pfc.Config
 	// Obs holds the observability hooks this rig was wired with.
 	Obs obs.Config
+	// liveWallStart anchors the wall-clock field of live progress
+	// snapshots (set when the live publisher attaches).
+	liveWallStart time.Time
 }
 
 // RigConfig assembles a rig over an arbitrary topology.
@@ -204,6 +209,12 @@ type RigConfig struct {
 func NewRig(cfg RigConfig) *Rig {
 	if cfg.Selector == nil {
 		cfg.Selector = routing.FirstPath()
+	}
+	// Telemetry sits in front of the raw recorder: every emission point
+	// sees one Recorder, the telemetry folds the event into its bounded
+	// histograms and forwards to the ring/spill sink (if any).
+	if cfg.Obs.Telemetry != nil {
+		cfg.Obs.Rec = cfg.Obs.Telemetry.Chain(cfg.Obs.Rec)
 	}
 	r := &Rig{
 		Sched: sim.New(),
@@ -247,7 +258,75 @@ func NewRig(cfg RigConfig) *Rig {
 	}
 	r.Mgr = host.Install(r.Net, hc)
 	r.Mgr.Rec = cfg.Obs.Rec
+	if cfg.Obs.Telemetry != nil {
+		r.attachQueueSampler(cfg.Obs.Telemetry)
+	}
+	if cfg.Obs.Live != nil {
+		r.attachLive()
+	}
 	return r
+}
+
+// attachQueueSampler starts the telemetry queue-depth sampler: a
+// self-rescheduling tick that folds every port's queue occupancy into
+// the bounded histogram and window ring. The tick only reads simulator
+// state, so enabling telemetry cannot perturb the simulation — golden
+// outputs stay byte-identical with it on or off.
+func (r *Rig) attachQueueSampler(tel *obs.Telemetry) {
+	ports := r.Net.Ports()
+	every := tel.QueueSampleEvery
+	var tick func()
+	tick = func() {
+		now := r.Sched.Now()
+		for _, p := range ports {
+			tel.ObserveQueue(now, int64(p.TotalQueueBytes()))
+		}
+		r.Sched.After(every, tick)
+	}
+	r.Sched.After(every, tick)
+}
+
+// attachLive starts the live-introspection publisher: at every LiveEvery
+// of simulated time it snapshots the metrics registry (plus telemetry
+// quantiles) into Prometheus text and a JSON progress line, and hands
+// the pre-serialized bytes to the HTTP endpoint. The simulator thread
+// never blocks on HTTP; handlers serve the latest published snapshot.
+func (r *Rig) attachLive() {
+	every := r.Obs.LiveEvery
+	if every <= 0 {
+		every = units.Millisecond
+	}
+	r.liveWallStart = time.Now()
+	var tick func()
+	tick = func() {
+		r.PublishLive(r.liveWallStart)
+		r.Sched.After(every, tick)
+	}
+	r.Sched.After(every, tick)
+}
+
+// PublishLive pushes one metrics + progress snapshot to the live
+// endpoint (no-op without one). Rig.Run calls it once more after the
+// horizon so the final state is always visible.
+func (r *Rig) PublishLive(wallStart time.Time) {
+	live := r.Obs.Live
+	if live == nil {
+		return
+	}
+	reg := obs.NewRegistry()
+	r.SnapshotMetrics(reg)
+	if r.Obs.Telemetry != nil {
+		r.Obs.Telemetry.FoldInto(reg)
+	}
+	var mb bytes.Buffer
+	if err := reg.WriteProm(&mb); err == nil {
+		live.PublishMetrics(mb.Bytes())
+	}
+	wall := time.Since(wallStart)
+	var pb bytes.Buffer
+	fmt.Fprintf(&pb, `{"sim_time_us":%.3f,"wall_ms":%d,"events":%d,"pending":%d,"flows":%d}`+"\n",
+		r.Sched.Now().Micros(), wall.Milliseconds(), r.Sched.Processed(), r.Sched.Pending(), len(r.Mgr.Flows()))
+	live.PublishProgress(pb.Bytes())
 }
 
 // attachDetectors installs the configured detector on every switch
@@ -354,6 +433,12 @@ func (r *Rig) Run(horizon units.Time) {
 	r.Sched.RunUntil(horizon)
 	if r.Obs.Metrics != nil {
 		r.SnapshotMetrics(r.Obs.Metrics)
+		if r.Obs.Telemetry != nil {
+			r.Obs.Telemetry.FoldInto(r.Obs.Metrics)
+		}
+	}
+	if r.Obs.Live != nil {
+		r.PublishLive(r.liveWallStart)
 	}
 	if StrictInvariants {
 		if err := CheckInvariants(r); err != nil {

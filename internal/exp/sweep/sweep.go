@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"github.com/tcdnet/tcd/internal/exp"
+	"github.com/tcdnet/tcd/internal/obs"
 	"github.com/tcdnet/tcd/internal/units"
 )
 
@@ -243,18 +244,22 @@ func percentile(sorted []float64, p float64) float64 {
 	return sorted[i]
 }
 
-// Aggregate folds the scalar outputs of successful runs across seeds:
-// results are grouped by result name (an experiment returning several
-// results yields several aggregates), and each scalar key becomes
-// min/mean/max plus p50/p95 statistics. Group and key order is the stable
-// first-seen order, so aggregation over a deterministic sweep is itself
-// deterministic.
+// Aggregate folds the outputs of successful runs across seeds: results
+// are grouped by result name (an experiment returning several results
+// yields several aggregates), each scalar key becomes min/mean/max plus
+// p50/p95 statistics, and streaming telemetry histograms with the same
+// name merge bucket-wise into one whole-sweep distribution (merging is
+// associative and commutative, so serial and parallel sweeps fold
+// identically). Group and key order is the stable first-seen order, so
+// aggregation over a deterministic sweep is itself deterministic.
 func Aggregate(rs []*RunResult) []*exp.Result {
 	type group struct {
-		name string
-		keys []string
-		vals map[string][]float64
-		runs int
+		name     string
+		keys     []string
+		vals     map[string][]float64
+		histKeys []string
+		hists    map[string]*obs.Hist
+		runs     int
 	}
 	var order []string
 	groups := make(map[string]*group)
@@ -265,7 +270,11 @@ func Aggregate(rs []*RunResult) []*exp.Result {
 		for _, res := range r.Results {
 			g, ok := groups[res.Name]
 			if !ok {
-				g = &group{name: res.Name, vals: make(map[string][]float64)}
+				g = &group{
+					name:  res.Name,
+					vals:  make(map[string][]float64),
+					hists: make(map[string]*obs.Hist),
+				}
 				groups[res.Name] = g
 				order = append(order, res.Name)
 			}
@@ -281,6 +290,20 @@ func Aggregate(rs []*RunResult) []*exp.Result {
 				}
 				g.vals[k] = append(g.vals[k], res.Scalars[k])
 			}
+			hkeys := make([]string, 0, len(res.Hists))
+			for k := range res.Hists {
+				hkeys = append(hkeys, k)
+			}
+			sort.Strings(hkeys)
+			for _, k := range hkeys {
+				m, seen := g.hists[k]
+				if !seen {
+					m = obs.NewHist()
+					g.hists[k] = m
+					g.histKeys = append(g.histKeys, k)
+				}
+				m.Merge(res.Hists[k])
+			}
 		}
 	}
 	var out []*exp.Result
@@ -292,6 +315,17 @@ func Aggregate(rs []*RunResult) []*exp.Result {
 			agg.Scalars[k+" mean"] = st.Mean
 			agg.AddNote("%-40s min=%-12.4g mean=%-12.4g max=%-12.4g p50=%-12.4g p95=%.4g (n=%d)",
 				k, st.Min, st.Mean, st.Max, st.P50, st.P95, st.N)
+		}
+		if len(g.histKeys) > 0 {
+			agg.Hists = make(map[string]*obs.Hist, len(g.histKeys))
+			for _, k := range g.histKeys {
+				h := g.hists[k]
+				agg.Hists[k] = h
+				agg.Scalars["hist_"+k+"_p50"] = float64(h.Quantile(0.5))
+				agg.Scalars["hist_"+k+"_p99"] = float64(h.Quantile(0.99))
+				agg.AddNote("hist %-32s n=%-10d min=%-12d p50=%-12d p99=%-12d max=%d (merged over %d runs)",
+					k, h.Count(), h.Min(), h.Quantile(0.5), h.Quantile(0.99), h.Max(), g.runs)
+			}
 		}
 		out = append(out, agg)
 	}
@@ -349,7 +383,9 @@ func (b *jsonBuf) Write(p []byte) (int, error) {
 
 // WriteCSV exports every scalar of every successful run as long-format
 // CSV (one row per spec × result × scalar), the shape plotting scripts
-// and spreadsheets ingest directly.
+// and spreadsheets ingest directly. Telemetry histograms export as
+// hist:<name>:<stat> rows (count, min, mean, p50, p90, p99, max) per
+// run, so cross-seed distributions can be rebuilt downstream.
 func WriteCSV(w io.Writer, rs []*RunResult) error {
 	if _, err := io.WriteString(w, "exp,fabric,det,cc,seed,result,scalar,value\n"); err != nil {
 		return err
@@ -359,17 +395,44 @@ func WriteCSV(w io.Writer, rs []*RunResult) error {
 			continue
 		}
 		for _, res := range r.Results {
+			row := func(k string, v float64) error {
+				_, err := fmt.Fprintf(w, "%s,%s,%s,%s,%d,%s,%q,%g\n",
+					r.Spec.Exp, r.Spec.Fabric, r.Spec.Det, r.Spec.CC, r.Spec.Seed,
+					res.Name, k, v)
+				return err
+			}
 			keys := make([]string, 0, len(res.Scalars))
 			for k := range res.Scalars {
 				keys = append(keys, k)
 			}
 			sort.Strings(keys)
 			for _, k := range keys {
-				_, err := fmt.Fprintf(w, "%s,%s,%s,%s,%d,%s,%q,%g\n",
-					r.Spec.Exp, r.Spec.Fabric, r.Spec.Det, r.Spec.CC, r.Spec.Seed,
-					res.Name, k, res.Scalars[k])
-				if err != nil {
+				if err := row(k, res.Scalars[k]); err != nil {
 					return err
+				}
+			}
+			hkeys := make([]string, 0, len(res.Hists))
+			for k := range res.Hists {
+				hkeys = append(hkeys, k)
+			}
+			sort.Strings(hkeys)
+			for _, k := range hkeys {
+				h := res.Hists[k]
+				for _, st := range []struct {
+					name string
+					v    float64
+				}{
+					{"count", float64(h.Count())},
+					{"min", float64(h.Min())},
+					{"mean", h.Mean()},
+					{"p50", float64(h.Quantile(0.5))},
+					{"p90", float64(h.Quantile(0.9))},
+					{"p99", float64(h.Quantile(0.99))},
+					{"max", float64(h.Max())},
+				} {
+					if err := row("hist:"+k+":"+st.name, st.v); err != nil {
+						return err
+					}
 				}
 			}
 		}

@@ -1,0 +1,132 @@
+package exp
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/tcdnet/tcd/internal/obs"
+	"github.com/tcdnet/tcd/internal/units"
+)
+
+// telemetryObserve runs a short fig3-style scenario, optionally with the
+// streaming telemetry collector attached.
+func telemetryObserve(seed uint64, tel *obs.Telemetry) *Result {
+	cfg := DefaultObserveConfig(CEE, DetBaseline, false)
+	cfg.Seed = seed
+	cfg.Horizon = 2 * units.Millisecond
+	cfg.BurstRounds = 4
+	cfg.Obs = obs.Config{Telemetry: tel}
+	return Observe(cfg)
+}
+
+// TestTelemetryDoesNotPerturbResults is the golden-preservation property:
+// attaching the full telemetry stack (event fold + queue sampler) must
+// leave every scalar and every pre-existing series byte-identical,
+// because its hooks are read-only observers.
+func TestTelemetryDoesNotPerturbResults(t *testing.T) {
+	plain := telemetryObserve(1, nil)
+	teled := telemetryObserve(1, obs.NewTelemetry(nil))
+
+	if len(teled.Hists) == 0 {
+		t.Fatal("telemetry run attached no histograms")
+	}
+	if plain.Hists != nil {
+		t.Fatal("plain run grew histograms; default outputs would change")
+	}
+	// Strip the telemetry-only series, then the JSON must match exactly.
+	delete(teled.Series, "telemetry_queue_win")
+	teled.Hists = nil
+	var pb, tb bytes.Buffer
+	if err := plain.WriteJSON(&pb); err != nil {
+		t.Fatal(err)
+	}
+	if err := teled.WriteJSON(&tb); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(pb.Bytes(), tb.Bytes()) {
+		t.Error("telemetry perturbed the simulation results")
+	}
+}
+
+// TestTelemetryCollectsDistributions: the fig3 scenario must populate the
+// headline histograms (flows complete, queues fill, PFC pauses, marks
+// fire) and the windowed queue series.
+func TestTelemetryCollectsDistributions(t *testing.T) {
+	tel := obs.NewTelemetry(nil)
+	res := telemetryObserve(1, tel)
+
+	for _, name := range []string{"fct_ps", "queue_bytes", "pause_dur_ps", "mark_gap_ps"} {
+		h, ok := res.Hists[name]
+		if !ok {
+			t.Fatalf("histogram %s missing from result", name)
+		}
+		if h.Count() == 0 {
+			t.Errorf("histogram %s is empty", name)
+		}
+	}
+	if res.Hists["fct_ps"].Min() <= 0 {
+		t.Errorf("fct min = %d, want > 0", res.Hists["fct_ps"].Min())
+	}
+	s, ok := res.Series["telemetry_queue_win"]
+	if !ok || len(s.T) == 0 {
+		t.Fatal("windowed queue series missing")
+	}
+	// Bounded memory: the ring never exceeds its configured cap.
+	if len(s.T) > tel.QueueWin.Cap() {
+		t.Fatalf("queue windows %d exceed ring cap %d", len(s.T), tel.QueueWin.Cap())
+	}
+	if f := tel.QueueWin.Fold(); f.Count == 0 || f.Max <= 0 {
+		t.Fatalf("queue fold = %+v", f)
+	}
+}
+
+// TestTelemetryDeterministicExports: two same-seed runs produce
+// byte-identical result JSON (including histograms) and byte-identical
+// Prometheus metric exports.
+func TestTelemetryDeterministicExports(t *testing.T) {
+	export := func() (resJSON, prom []byte) {
+		tel := obs.NewTelemetry(nil)
+		res := telemetryObserve(1, tel)
+		var rb bytes.Buffer
+		if err := res.WriteJSON(&rb); err != nil {
+			t.Fatal(err)
+		}
+		reg := obs.NewRegistry()
+		tel.FoldInto(reg)
+		var pb bytes.Buffer
+		if err := reg.WriteProm(&pb); err != nil {
+			t.Fatal(err)
+		}
+		return rb.Bytes(), pb.Bytes()
+	}
+	r1, p1 := export()
+	r2, p2 := export()
+	if !bytes.Equal(r1, r2) {
+		t.Error("same-seed telemetry result JSON differs")
+	}
+	if !bytes.Equal(p1, p2) {
+		t.Error("same-seed Prometheus exports differ")
+	}
+	if !bytes.Contains(p1, []byte("hist_fct_ps_count")) {
+		t.Error("Prometheus export missing telemetry gauges")
+	}
+}
+
+// TestHistJSONRoundTripThroughResult: result JSON embeds histograms that
+// decode back to equal state — the sweep aggregation path depends on it.
+func TestHistJSONRoundTripThroughResult(t *testing.T) {
+	tel := obs.NewTelemetry(nil)
+	res := telemetryObserve(1, tel)
+	h := res.Hists["fct_ps"]
+	b, err := h.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := obs.NewHist()
+	if err := back.UnmarshalJSON(b); err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(h) {
+		t.Fatal("histogram did not survive the JSON round trip")
+	}
+}

@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+)
+
+// Live is the introspection endpoint of a running simulation: an HTTP
+// server exposing the latest published metrics snapshot in Prometheus
+// text format (/metrics), a JSON progress snapshot (/progress) and the
+// standard pprof handlers (/debug/pprof/).
+//
+// Concurrency model: the simulator stays single-threaded and never takes
+// a lock on its hot path — it publishes pre-serialized snapshots at
+// deterministic simulated-time ticks, and the HTTP goroutines only ever
+// read the latest published bytes under a mutex. A stalled simulation
+// therefore serves a stale (clearly timestamped) snapshot rather than
+// racing the event loop.
+type Live struct {
+	mu       sync.Mutex
+	metrics  []byte
+	progress []byte
+
+	srv *http.Server
+	ln  net.Listener
+}
+
+// ServeLive starts the endpoint on addr (e.g. ":9321" or
+// "127.0.0.1:0"). It returns once the listener is bound, with the
+// handlers serving from a background goroutine.
+func ServeLive(addr string) (*Live, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	l := &Live{ln: ln}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", l.handleMetrics)
+	mux.HandleFunc("/progress", l.handleProgress)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", handleIndex)
+	l.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go l.srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
+	return l, nil
+}
+
+// Addr reports the bound listen address (useful with port 0).
+func (l *Live) Addr() string { return l.ln.Addr().String() }
+
+// PublishMetrics stores a new /metrics snapshot (the bytes are copied).
+func (l *Live) PublishMetrics(b []byte) {
+	snap := append([]byte(nil), b...)
+	l.mu.Lock()
+	l.metrics = snap
+	l.mu.Unlock()
+}
+
+// PublishProgress stores a new /progress snapshot (the bytes are
+// copied).
+func (l *Live) PublishProgress(b []byte) {
+	snap := append([]byte(nil), b...)
+	l.mu.Lock()
+	l.progress = snap
+	l.mu.Unlock()
+}
+
+// Close shuts the server down.
+func (l *Live) Close() error {
+	return l.srv.Close()
+}
+
+func (l *Live) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	l.mu.Lock()
+	b := l.metrics
+	l.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Write(b) //nolint:errcheck
+}
+
+func (l *Live) handleProgress(w http.ResponseWriter, _ *http.Request) {
+	l.mu.Lock()
+	b := l.progress
+	l.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	if len(b) == 0 {
+		b = []byte("{}\n")
+	}
+	w.Write(b) //nolint:errcheck
+}
+
+func handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	w.Write([]byte(`<html><body><h1>tcdsim</h1><ul>
+<li><a href="/metrics">/metrics</a> (Prometheus text)</li>
+<li><a href="/progress">/progress</a> (JSON snapshot)</li>
+<li><a href="/debug/pprof/">/debug/pprof/</a></li>
+</ul></body></html>
+`)) //nolint:errcheck
+}

@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func getBody(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(b)
+}
+
+func TestServeLiveEndpoints(t *testing.T) {
+	l, err := ServeLive("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	base := "http://" + l.Addr()
+
+	// Before any publish, /metrics is empty and /progress is a valid
+	// empty object.
+	if code, body := getBody(t, base+"/metrics"); code != 200 || body != "" {
+		t.Fatalf("/metrics pre-publish: code=%d body=%q", code, body)
+	}
+	if code, body := getBody(t, base+"/progress"); code != 200 || strings.TrimSpace(body) != "{}" {
+		t.Fatalf("/progress pre-publish: code=%d body=%q", code, body)
+	}
+
+	l.PublishMetrics([]byte("# TYPE x counter\nx 1\n"))
+	l.PublishProgress([]byte(`{"sim_time_us":42}`))
+	if _, body := getBody(t, base+"/metrics"); !strings.Contains(body, "x 1") {
+		t.Fatalf("/metrics missing published snapshot: %q", body)
+	}
+	if _, body := getBody(t, base+"/progress"); !strings.Contains(body, `"sim_time_us":42`) {
+		t.Fatalf("/progress missing published snapshot: %q", body)
+	}
+
+	if code, body := getBody(t, base+"/debug/pprof/"); code != 200 || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ index: code=%d", code)
+	}
+	if code, body := getBody(t, base+"/"); code != 200 || !strings.Contains(body, "/metrics") {
+		t.Fatalf("index page: code=%d body=%q", code, body)
+	}
+	if code, _ := getBody(t, base+"/nope"); code != 404 {
+		t.Fatalf("unknown path: code=%d, want 404", code)
+	}
+}
+
+// TestPublishCopiesBytes: mutating the caller's buffer after publishing
+// must not corrupt the served snapshot.
+func TestPublishCopiesBytes(t *testing.T) {
+	l, err := ServeLive("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	buf := []byte("before")
+	l.PublishMetrics(buf)
+	copy(buf, "mutate")
+	if _, body := getBody(t, "http://"+l.Addr()+"/metrics"); body != "before" {
+		t.Fatalf("snapshot aliased the caller's buffer: %q", body)
+	}
+}

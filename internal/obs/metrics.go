@@ -1,9 +1,12 @@
 package obs
 
 import (
+	"bufio"
 	"encoding/json"
+	"fmt"
 	"io"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -19,6 +22,9 @@ import (
 type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
+	// prom maps the canonical key to its Prometheus-rendered series
+	// identity (name{k="v",...}), built once at creation.
+	prom map[string]string
 }
 
 // NewRegistry builds an empty registry.
@@ -26,6 +32,7 @@ func NewRegistry() *Registry {
 	return &Registry{
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
+		prom:     make(map[string]string),
 	}
 }
 
@@ -47,13 +54,16 @@ func (g *Gauge) Set(v float64) { g.v = v }
 // Value reports the current value.
 func (g *Gauge) Value() float64 { return g.v }
 
-// metricKey renders "name{k=v,k2=v2}" with label pairs sorted by key.
-func metricKey(name string, labels []string) string {
+// metricKey renders the canonical "name{k=v,k2=v2}" key and the
+// Prometheus series identity name{k="v",k2="v2"}, label pairs sorted by
+// key in both, so the same metric reached with labels in any order lands
+// in one cell and both exports are deterministic.
+func metricKey(name string, labels []string) (key, prom string) {
 	if len(labels)%2 != 0 {
 		panic("obs: labels must be key,value pairs")
 	}
 	if len(labels) == 0 {
-		return name
+		return name, name
 	}
 	type pair struct{ k, v string }
 	pairs := make([]pair, 0, len(labels)/2)
@@ -61,40 +71,71 @@ func metricKey(name string, labels []string) string {
 		pairs = append(pairs, pair{labels[i], labels[i+1]})
 	}
 	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
-	var sb strings.Builder
+	var sb, pb strings.Builder
 	sb.WriteString(name)
+	pb.WriteString(name)
 	sb.WriteByte('{')
+	pb.WriteByte('{')
 	for i, p := range pairs {
 		if i > 0 {
 			sb.WriteByte(',')
+			pb.WriteByte(',')
 		}
 		sb.WriteString(p.k)
 		sb.WriteByte('=')
 		sb.WriteString(p.v)
+		pb.WriteString(p.k)
+		pb.WriteString(`="`)
+		pb.WriteString(promEscape(p.v))
+		pb.WriteByte('"')
 	}
 	sb.WriteByte('}')
+	pb.WriteByte('}')
+	return sb.String(), pb.String()
+}
+
+// promEscape escapes a label value for the Prometheus text format.
+func promEscape(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var sb strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			sb.WriteString(`\\`)
+		case '"':
+			sb.WriteString(`\"`)
+		case '\n':
+			sb.WriteString(`\n`)
+		default:
+			sb.WriteRune(r)
+		}
+	}
 	return sb.String()
 }
 
 // Counter returns (creating if needed) the counter for name plus
 // alternating label key,value pairs.
 func (r *Registry) Counter(name string, labels ...string) *Counter {
-	key := metricKey(name, labels)
+	key, prom := metricKey(name, labels)
 	c, ok := r.counters[key]
 	if !ok {
 		c = &Counter{}
 		r.counters[key] = c
+		r.prom[key] = prom
 	}
 	return c
 }
 
 // Gauge returns (creating if needed) the gauge for name plus labels.
 func (r *Registry) Gauge(name string, labels ...string) *Gauge {
-	key := metricKey(name, labels)
+	key, prom := metricKey(name, labels)
 	g, ok := r.gauges[key]
 	if !ok {
 		g = &Gauge{}
 		r.gauges[key] = g
+		r.prom[key] = prom
 	}
 	return g
 }
@@ -119,4 +160,46 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 		Counters map[string]int64   `json:"counters"`
 		Gauges   map[string]float64 `json:"gauges"`
 	}{counters, gauges})
+}
+
+// metricName extracts the bare metric name from a canonical key.
+func metricName(key string) string {
+	if i := strings.IndexByte(key, '{'); i >= 0 {
+		return key[:i]
+	}
+	return key
+}
+
+// WriteProm exports the registry in the Prometheus text exposition
+// format. Series are ordered by canonical key within each section and a
+// single # TYPE line precedes each metric family, so identical
+// registries produce byte-identical output.
+func (r *Registry) WriteProm(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	writeSection := func(keys []string, typ string, value func(key string) string) {
+		sort.Strings(keys)
+		lastName := ""
+		for _, k := range keys {
+			if name := metricName(k); name != lastName {
+				fmt.Fprintf(bw, "# TYPE %s %s\n", name, typ)
+				lastName = name
+			}
+			fmt.Fprintf(bw, "%s %s\n", r.prom[k], value(k))
+		}
+	}
+	ckeys := make([]string, 0, len(r.counters))
+	for k := range r.counters {
+		ckeys = append(ckeys, k)
+	}
+	writeSection(ckeys, "counter", func(k string) string {
+		return strconv.FormatInt(r.counters[k].v, 10)
+	})
+	gkeys := make([]string, 0, len(r.gauges))
+	for k := range r.gauges {
+		gkeys = append(gkeys, k)
+	}
+	writeSection(gkeys, "gauge", func(k string) string {
+		return strconv.FormatFloat(r.gauges[k].v, 'g', -1, 64)
+	})
+	return bw.Flush()
 }

@@ -74,6 +74,16 @@ type Config struct {
 	Rec Recorder
 	// Metrics, if non-nil, is populated by the rig's end-of-run snapshot.
 	Metrics *Registry
+	// Telemetry, if non-nil, folds the event stream into bounded-memory
+	// histograms and windowed aggregates; the rig chains it in front of
+	// Rec and attaches the queue-depth sampler.
+	Telemetry *Telemetry
+	// Live, if non-nil, is the introspection endpoint the rig publishes
+	// metric and progress snapshots to at LiveEvery intervals.
+	Live *Live
+	// LiveEvery is the simulated-time interval between live snapshot
+	// publishes (default 1 ms when Live is set).
+	LiveEvery units.Time
 	// ProgressEvery enables the progress ticker at this sim interval.
 	ProgressEvery units.Time
 	// ProgressOut receives progress lines (stderr if nil).

@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"bytes"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func fillRegistry(r *Registry) {
+	// Deliberately created in scrambled order: the export must sort.
+	r.Gauge("zeta").Set(1.5)
+	r.Counter("alpha_total", "port", "T0[1]->L0", "prio", "0").Add(3)
+	r.Counter("alpha_total", "port", "L0[2]->T2", "prio", "1").Add(7)
+	r.Gauge("queue_bytes", "port", `weird"name`).Set(42)
+	r.Counter("beta_total").Add(1)
+}
+
+// TestWritePromDeterministicAndSorted: two registries built in different
+// insertion orders export byte-identical, sorted Prometheus text.
+func TestWritePromDeterministicAndSorted(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	fillRegistry(a)
+	// Same metrics, reversed creation order.
+	b.Counter("beta_total").Add(1)
+	b.Gauge("queue_bytes", "port", `weird"name`).Set(42)
+	b.Counter("alpha_total", "port", "L0[2]->T2", "prio", "1").Add(7)
+	b.Counter("alpha_total", "port", "T0[1]->L0", "prio", "0").Add(3)
+	b.Gauge("zeta").Set(1.5)
+
+	var ba, bb bytes.Buffer
+	if err := a.WriteProm(&ba); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteProm(&bb); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ba.Bytes(), bb.Bytes()) {
+		t.Fatalf("insertion order leaked into the export:\n%s\nvs\n%s", ba.String(), bb.String())
+	}
+
+	lines := strings.Split(strings.TrimRight(ba.String(), "\n"), "\n")
+	var series []string
+	for _, ln := range lines {
+		if !strings.HasPrefix(ln, "# ") {
+			series = append(series, ln)
+		}
+	}
+	if !sort.StringsAreSorted(series[:3]) {
+		t.Errorf("counter series not sorted: %q", series)
+	}
+	if !strings.Contains(ba.String(), `alpha_total{port="T0[1]->L0",prio="0"} 3`) {
+		t.Errorf("labeled counter missing or mis-rendered:\n%s", ba.String())
+	}
+	if !strings.Contains(ba.String(), `port="weird\"name"`) {
+		t.Errorf("label value not escaped:\n%s", ba.String())
+	}
+	// One # TYPE header per family, before its first series.
+	if strings.Count(ba.String(), "# TYPE alpha_total counter") != 1 {
+		t.Errorf("alpha_total family header wrong:\n%s", ba.String())
+	}
+}

@@ -1,0 +1,186 @@
+package obs
+
+import (
+	"math"
+
+	"github.com/tcdnet/tcd/internal/units"
+)
+
+// WindowAgg is the fold of one time window: count, sum (for the mean),
+// min and max of every observation whose timestamp fell in
+// [Index*width, (Index+1)*width).
+type WindowAgg struct {
+	// Index is the window's sequence number; its start time is
+	// Index * Width.
+	Index int64
+	Count int64
+	Sum   float64
+	Min   float64
+	Max   float64
+}
+
+// Mean reports the window's average (0 when empty).
+func (w WindowAgg) Mean() float64 {
+	if w.Count == 0 {
+		return 0
+	}
+	return w.Sum / float64(w.Count)
+}
+
+// WindowSeries replaces an unbounded sampled series with a fixed ring of
+// per-window aggregates plus one log-bucketed histogram over every
+// observation. Memory is O(ring size), independent of run length: old
+// windows are evicted as simulated time advances, while the histogram
+// keeps whole-run min/mean/max/p99 folds exact to bucket resolution.
+//
+// Observe never allocates and tolerates monotone or mildly out-of-order
+// timestamps; observations older than the retained ring are counted as
+// dropped.
+type WindowSeries struct {
+	width  units.Time
+	wins   []WindowAgg
+	newest int64 // highest window index seen; -1 before the first sample
+	// whole-run folds
+	hist     *Hist
+	totalMin float64
+	totalMax float64
+	dropped  uint64
+	evicted  uint64
+}
+
+// DefaultWindowCount is the ring size used when none is given.
+const DefaultWindowCount = 256
+
+// NewWindowSeries builds a series of n retained windows of the given
+// width (DefaultWindowCount windows if n <= 0). It panics on a
+// non-positive width.
+func NewWindowSeries(width units.Time, n int) *WindowSeries {
+	if width <= 0 {
+		panic("obs: NewWindowSeries width must be positive")
+	}
+	if n <= 0 {
+		n = DefaultWindowCount
+	}
+	return &WindowSeries{
+		width:    width,
+		wins:     make([]WindowAgg, n),
+		newest:   -1,
+		hist:     NewHist(),
+		totalMin: math.Inf(1),
+		totalMax: math.Inf(-1),
+	}
+}
+
+// Width reports the window width.
+func (s *WindowSeries) Width() units.Time { return s.width }
+
+// Cap reports the number of retained windows.
+func (s *WindowSeries) Cap() int { return len(s.wins) }
+
+// Dropped reports observations that arrived too late to land in a
+// retained window.
+func (s *WindowSeries) Dropped() uint64 { return s.dropped }
+
+// Evicted reports how many windows have rotated out of the ring.
+func (s *WindowSeries) Evicted() uint64 { return s.evicted }
+
+// slot maps a window index to its ring slot. Consecutive indices map to
+// consecutive slots, so advancing by one window touches one slot.
+func (s *WindowSeries) slot(idx int64) *WindowAgg {
+	return &s.wins[int(idx%int64(len(s.wins)))]
+}
+
+// Observe folds one observation at simulated time at. It never
+// allocates.
+func (s *WindowSeries) Observe(at units.Time, v float64) {
+	idx := int64(at / s.width)
+	if at < 0 {
+		idx = 0
+	}
+	if s.newest < 0 {
+		s.newest = idx
+		*s.slot(idx) = WindowAgg{Index: idx, Min: math.Inf(1), Max: math.Inf(-1)}
+	}
+	for s.newest < idx {
+		s.newest++
+		w := s.slot(s.newest)
+		if w.Count > 0 || w.Index > 0 {
+			s.evicted++
+		}
+		*w = WindowAgg{Index: s.newest, Min: math.Inf(1), Max: math.Inf(-1)}
+	}
+	oldest := s.newest - int64(len(s.wins)) + 1
+	if idx < oldest {
+		s.dropped++
+		return
+	}
+	w := s.slot(idx)
+	if w.Index != idx {
+		// The slot still holds a future-relative stale window (possible
+		// only for indices between a big forward jump); reset it.
+		*w = WindowAgg{Index: idx, Min: math.Inf(1), Max: math.Inf(-1)}
+	}
+	w.Count++
+	w.Sum += v
+	if v < w.Min {
+		w.Min = v
+	}
+	if v > w.Max {
+		w.Max = v
+	}
+	s.hist.Observe(int64(v))
+	if v < s.totalMin {
+		s.totalMin = v
+	}
+	if v > s.totalMax {
+		s.totalMax = v
+	}
+}
+
+// Windows returns the retained, non-empty windows oldest first. It
+// allocates and is meant for end-of-run export, not the hot path.
+func (s *WindowSeries) Windows() []WindowAgg {
+	if s.newest < 0 {
+		return nil
+	}
+	oldest := s.newest - int64(len(s.wins)) + 1
+	if oldest < 0 {
+		oldest = 0
+	}
+	out := make([]WindowAgg, 0, len(s.wins))
+	for idx := oldest; idx <= s.newest; idx++ {
+		w := s.slot(idx)
+		if w.Index == idx && w.Count > 0 {
+			out = append(out, *w)
+		}
+	}
+	return out
+}
+
+// Fold is the whole-run summary of a WindowSeries.
+type Fold struct {
+	Count          int64
+	Min, Mean, Max float64
+	// P99 comes from the embedded log-bucket histogram, so it is exact to
+	// ~3% bucket resolution over every observation ever made (not only
+	// the retained windows).
+	P99 float64
+}
+
+// Fold summarizes every observation made over the series' lifetime.
+func (s *WindowSeries) Fold() Fold {
+	if s.hist.Count() == 0 {
+		return Fold{}
+	}
+	return Fold{
+		Count: s.hist.Count(),
+		Min:   s.totalMin,
+		Mean:  s.hist.Mean(),
+		Max:   s.totalMax,
+		P99:   float64(s.hist.Quantile(0.99)),
+	}
+}
+
+// Hist exposes the embedded whole-run histogram (for merging across
+// seeds or export).
+func (s *WindowSeries) Hist() *Hist { return s.hist }

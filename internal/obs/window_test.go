@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"math"
+	"testing"
+
+	"github.com/tcdnet/tcd/internal/units"
+)
+
+func TestWindowSeriesBasicFold(t *testing.T) {
+	s := NewWindowSeries(10, 4)
+	s.Observe(0, 1)
+	s.Observe(5, 3)
+	s.Observe(12, 10)
+	wins := s.Windows()
+	if len(wins) != 2 {
+		t.Fatalf("got %d windows, want 2", len(wins))
+	}
+	w0 := wins[0]
+	if w0.Index != 0 || w0.Count != 2 || w0.Sum != 4 || w0.Min != 1 || w0.Max != 3 || w0.Mean() != 2 {
+		t.Fatalf("window 0 = %+v", w0)
+	}
+	if wins[1].Index != 1 || wins[1].Count != 1 || wins[1].Mean() != 10 {
+		t.Fatalf("window 1 = %+v", wins[1])
+	}
+	f := s.Fold()
+	if f.Count != 3 || f.Min != 1 || f.Max != 10 {
+		t.Fatalf("fold = %+v", f)
+	}
+	if math.Abs(f.Mean-14.0/3) > 1e-9 {
+		t.Fatalf("fold mean = %v, want %v", f.Mean, 14.0/3)
+	}
+}
+
+// TestWindowSeriesRotation: the ring holds the newest Cap windows; older
+// windows are evicted and late observations into them count as dropped.
+func TestWindowSeriesRotation(t *testing.T) {
+	s := NewWindowSeries(10, 4)
+	for i := 0; i < 10; i++ {
+		s.Observe(units.Time(i*10), float64(i))
+	}
+	wins := s.Windows()
+	if len(wins) != 4 {
+		t.Fatalf("got %d windows, want ring cap 4", len(wins))
+	}
+	for i, w := range wins {
+		wantIdx := int64(6 + i)
+		if w.Index != wantIdx || w.Count != 1 || w.Sum != float64(wantIdx) {
+			t.Fatalf("window %d = %+v, want index %d", i, w, wantIdx)
+		}
+	}
+	if s.Evicted() == 0 {
+		t.Fatal("rotation evicted no windows")
+	}
+	// A sample far behind the retained ring is dropped, not misfiled.
+	before := s.Fold().Count
+	s.Observe(0, 99)
+	if s.Dropped() != 1 {
+		t.Fatalf("dropped = %d, want 1", s.Dropped())
+	}
+	if got := s.Fold().Count; got != before {
+		t.Fatalf("dropped sample leaked into the fold: count %d -> %d", before, got)
+	}
+	// The whole-run fold still covers every accepted observation, not
+	// just the retained windows.
+	if f := s.Fold(); f.Count != 10 || f.Min != 0 || f.Max != 9 {
+		t.Fatalf("fold = %+v, want count 10 min 0 max 9", f)
+	}
+}
+
+// TestWindowSeriesForwardJump: a jump of more than one ring length lands
+// in a fresh window and the skipped range stays empty.
+func TestWindowSeriesForwardJump(t *testing.T) {
+	s := NewWindowSeries(10, 4)
+	s.Observe(0, 1)
+	s.Observe(1000, 2) // window 100, 99 windows ahead
+	wins := s.Windows()
+	if len(wins) != 1 || wins[0].Index != 100 || wins[0].Count != 1 {
+		t.Fatalf("windows after jump = %+v", wins)
+	}
+	if s.Fold().Count != 2 {
+		t.Fatalf("fold count = %d, want 2", s.Fold().Count)
+	}
+}
+
+func TestWindowSeriesP99FromHist(t *testing.T) {
+	s := NewWindowSeries(units.Microsecond, 8)
+	for i := 1; i <= 1000; i++ {
+		s.Observe(units.Time(i), float64(i))
+	}
+	p99 := s.Fold().P99
+	if p99 < 990 || p99 > 990*(1+1.0/histSubCount)+1 {
+		t.Fatalf("p99 = %v, want ~990 within bucket resolution", p99)
+	}
+}
+
+func TestWindowSeriesObserveZeroAlloc(t *testing.T) {
+	s := NewWindowSeries(10, 16)
+	at := units.Time(0)
+	if n := testing.AllocsPerRun(1000, func() {
+		s.Observe(at, float64(at))
+		at += 7
+	}); n != 0 {
+		t.Fatalf("Observe allocates %.1f per call, want 0", n)
+	}
+}
+
+func TestWindowSeriesPanicsOnBadWidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewWindowSeries(0, ...) did not panic")
+		}
+	}()
+	NewWindowSeries(0, 4)
+}

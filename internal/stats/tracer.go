@@ -15,6 +15,8 @@ type Tracer struct {
 	probes   []func() float64
 	series   []*Series
 	started  bool
+	capN     int
+	decims   int
 }
 
 // NewTracer builds a tracer sampling every interval until horizon. It
@@ -36,6 +38,33 @@ func (t *Tracer) Add(name string, probe func() float64) *Series {
 	return s
 }
 
+// SetCap bounds retained samples per series (0 = unlimited, the
+// default). When a tick fills a series to the cap, every series is
+// decimated in place — every other sample dropped — and the sampling
+// interval doubles, so an arbitrarily long run retains at most cap
+// samples per series while still covering its whole duration. Call
+// before Start.
+func (t *Tracer) SetCap(n int) { t.capN = n }
+
+// Decimations reports how many times the tracer halved its series.
+func (t *Tracer) Decimations() int { return t.decims }
+
+// decimate halves every series in place (keeping even-index samples)
+// and doubles the interval.
+func (t *Tracer) decimate() {
+	for _, s := range t.series {
+		keep := (len(s.T) + 1) / 2
+		for i := 0; i < keep; i++ {
+			s.T[i] = s.T[2*i]
+			s.V[i] = s.V[2*i]
+		}
+		s.T = s.T[:keep]
+		s.V = s.V[:keep]
+	}
+	t.interval *= 2
+	t.decims++
+}
+
 // Start schedules the sampling loop (call after registering probes).
 func (t *Tracer) Start() {
 	if t.started {
@@ -48,6 +77,9 @@ func (t *Tracer) Start() {
 		for i, p := range t.probes {
 			t.series[i].T = append(t.series[i].T, now)
 			t.series[i].V = append(t.series[i].V, p())
+		}
+		if t.capN > 0 && len(t.series) > 0 && len(t.series[0].T) >= t.capN {
+			t.decimate()
 		}
 		if now+t.interval <= t.horizon {
 			t.sched.After(t.interval, tick)
