@@ -164,17 +164,15 @@ func observeTelemetryCase(name string, kind exp.FabricKind, horizon units.Time, 
 	})
 }
 
-// schedCase measures the event queue in isolation at a fixed depth: a
-// churn loop of push, pop, cancel and reschedule against a scheduler
-// preloaded with depth pending events. EventsPerSec counts queue
-// operations, so the BENCH trajectory tracks the raw heap cost
-// independently of the fabric and host layers riding on it.
-func schedCase(name string, depth, iters int) Case {
-	const span = 1 << 30 // spread of pending fire times, in sim time units
+// schedChurn builds one iteration of the scheduler churn loop: push,
+// pop, cancel and reschedule against a scheduler preloaded with depth
+// pending events whose fire times spread over span time units. The
+// constructor selects the queue under test (hybrid or heap-only).
+func schedChurn(depth int, span int64, mk func() *sim.Scheduler) func() (uint64, map[string]float64) {
 	const churn = 100000
-	return measure(name, iters, func() (uint64, map[string]float64) {
+	return func() (uint64, map[string]float64) {
 		r := rng.New(11)
-		s := sim.New()
+		s := mk()
 		ids := make([]sim.EventID, depth)
 		// Every event re-pushes itself when it fires, carrying its slot
 		// in a preallocated pointer arg, so the queue holds exactly
@@ -184,24 +182,24 @@ func schedCase(name string, depth, iters int) Case {
 		var refill func(any)
 		refill = func(a any) {
 			sl := a.(*slot)
-			ids[sl.i] = s.AtArg(s.Now()+1+units.Time(r.Intn(span)), refill, a)
+			ids[sl.i] = s.AtArg(s.Now()+1+units.Time(r.Intn(int(span))), refill, a)
 		}
 		for i := range ids {
 			slots[i].i = i
-			ids[i] = s.AtArg(units.Time(1+r.Intn(span)), refill, &slots[i])
+			ids[i] = s.AtArg(units.Time(1+r.Intn(int(span))), refill, &slots[i])
 		}
 		ops := uint64(depth)
-		gap := units.Time(span / depth)
+		gap := units.Time(span / int64(depth))
 		for k := 0; k < churn; k++ {
 			switch k & 3 {
 			case 0: // reschedule a live handle in place
 				j := r.Intn(depth)
-				s.Reschedule(ids[j], s.Now()+1+units.Time(r.Intn(span)))
+				s.Reschedule(ids[j], s.Now()+1+units.Time(r.Intn(int(span))))
 				ops++
 			case 1: // cancel + fresh push
 				j := r.Intn(depth)
 				s.Cancel(ids[j])
-				ids[j] = s.AtArg(s.Now()+1+units.Time(r.Intn(span)), refill, &slots[j])
+				ids[j] = s.AtArg(s.Now()+1+units.Time(r.Intn(int(span))), refill, &slots[j])
 				ops += 2
 			default: // advance: pops ~1 event, which re-pushes itself
 				s.RunUntil(s.Now() + gap)
@@ -210,7 +208,41 @@ func schedCase(name string, depth, iters int) Case {
 		ops += 2 * s.Processed() // each pop came with a matching refill push
 		s.Stop()
 		return ops, map[string]float64{"depth": float64(depth), "processed": float64(s.Processed())}
-	})
+	}
+}
+
+// schedCase measures the event queue in isolation at a fixed depth, with
+// fire times spread over 2^30 time units so most pending events sit
+// beyond the wheel horizon (the far-timer regime). EventsPerSec counts
+// queue operations, so the BENCH trajectory tracks the raw queue cost
+// independently of the fabric and host layers riding on it.
+func schedCase(name string, depth, iters int) Case {
+	return measure(name, iters, schedChurn(depth, 1<<30, sim.New))
+}
+
+// schedWheelCase is the same churn loop with fire times confined to a
+// 2^28-unit spread: pending events live in the level-0 and level-1 wheel
+// bands rather than the overflow heap, so these cases track the O(1)
+// slot-insert/cancel path and the bucket cascade cost.
+func schedWheelCase(name string, depth, iters int) Case {
+	return measure(name, iters, schedChurn(depth, 1<<28, sim.New))
+}
+
+// crossoverCase runs the identical churn trace on the hybrid and on the
+// heap-only configuration and reports both, so the BENCH trajectory
+// records where the wheel starts paying for itself as depth grows. The
+// headline numbers (ns/op, events/sec) are the hybrid's; the heap-only
+// side and the speedup ratio ride in the metrics map.
+func crossoverCase(name string, depth, iters int) Case {
+	hy := measure(name, iters, schedChurn(depth, 1<<30, sim.New))
+	ho := measure(name, iters, schedChurn(depth, 1<<30, sim.NewHeapOnly))
+	hy.Metrics = map[string]float64{
+		"depth":                   float64(depth),
+		"heaponly_ns_per_op":      ho.NsPerOp,
+		"heaponly_events_per_sec": ho.EventsPerSec,
+		"wheel_speedup":           ho.NsPerOp / hy.NsPerOp,
+	}
+	return hy
 }
 
 // Regression is one guard violation found by Compare.
@@ -298,6 +330,12 @@ func Run(cfg Config) *Report {
 		schedCase("sched-depth-1k", 1<<10, cfg.Iters),
 		schedCase("sched-depth-16k", 1<<14, cfg.Iters),
 		schedCase("sched-depth-256k", 1<<18, cfg.Iters),
+		schedWheelCase("sched-wheel-1k", 1<<10, cfg.Iters),
+		schedWheelCase("sched-wheel-16k", 1<<14, cfg.Iters),
+		schedWheelCase("sched-wheel-256k", 1<<18, cfg.Iters),
+		crossoverCase("sched-crossover-1k", 1<<10, cfg.Iters),
+		crossoverCase("sched-crossover-16k", 1<<14, cfg.Iters),
+		crossoverCase("sched-crossover-256k", 1<<18, cfg.Iters),
 	)
 	r.Sweep = speedupSweep(cfg)
 	return r

@@ -25,6 +25,8 @@ func TestRunProducesReport(t *testing.T) {
 		"observe-cee-baseline", "observe-cee-tcd", "observe-cee-telemetry",
 		"observe-ib-baseline", "table3",
 		"sched-depth-1k", "sched-depth-16k", "sched-depth-256k",
+		"sched-wheel-1k", "sched-wheel-16k", "sched-wheel-256k",
+		"sched-crossover-1k", "sched-crossover-16k", "sched-crossover-256k",
 	}
 	if len(r.Cases) != len(wantCases) {
 		t.Fatalf("got %d cases, want %d", len(r.Cases), len(wantCases))

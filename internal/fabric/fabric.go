@@ -373,21 +373,43 @@ func (p *Port) SendCtrl(f CtrlFrame) {
 		}
 		rec.Record(obs.Event{At: now, Kind: kind, Port: p.Label(), Prio: f.Prio, Flow: -1, Val: f.FCCL})
 	}
-	peer := p.Peer
-	p.net.Sched.After(d, func() {
-		if peer.down {
-			// The link died while the frame was in flight.
-			peer.FaultDrops++
-			peer.net.FaultDrops++
-			if rec := peer.net.cfg.Rec; rec != nil {
-				rec.Record(obs.Event{At: peer.net.Sched.Now(), Kind: obs.KindFaultDrop, Port: peer.Label(), Prio: f.Prio, Flow: -1, Val: int64(f.Kind)})
-			}
-			return
+	n := p.net
+	var ci *ctrlInflight
+	if k := len(n.ctrlFree); k > 0 {
+		ci = n.ctrlFree[k-1]
+		n.ctrlFree = n.ctrlFree[:k-1]
+	} else {
+		ci = &ctrlInflight{}
+	}
+	ci.to, ci.f = p.Peer, f
+	n.Sched.AfterArg(d, n.ctrlDeliverFn, ci)
+}
+
+// ctrlInflight is a control frame on the wire: the destination port and
+// the frame, parked in an event argument. Records are recycled through
+// Network.ctrlFree once delivered.
+type ctrlInflight struct {
+	to *Port
+	f  CtrlFrame
+}
+
+// deliverCtrl lands a control frame at its destination port's gate (or
+// drops it if the link died while the frame was in flight).
+func (n *Network) deliverCtrl(ci *ctrlInflight) {
+	peer, f := ci.to, ci.f
+	ci.to = nil
+	n.ctrlFree = append(n.ctrlFree, ci)
+	if peer.down {
+		peer.FaultDrops++
+		n.FaultDrops++
+		if rec := n.cfg.Rec; rec != nil {
+			rec.Record(obs.Event{At: n.Sched.Now(), Kind: obs.KindFaultDrop, Port: peer.Label(), Prio: f.Prio, Flow: -1, Val: int64(f.Kind)})
 		}
-		if peer.gate != nil {
-			peer.gate.HandleCtrl(p.net.Sched.Now(), f)
-		}
-	})
+		return
+	}
+	if peer.gate != nil {
+		peer.gate.HandleCtrl(n.Sched.Now(), f)
+	}
 }
 
 // GateChanged must be called by the gate after its state may have become
@@ -674,7 +696,7 @@ func (p *Port) receive(pkt *packet.Packet) {
 		}
 		// The packet is dead: recycle it. Sinks must copy what they need
 		// before returning; the next NewPacket may reuse this struct.
-		p.net.pool.Put(pkt)
+		p.net.arena.Put(pkt)
 		return
 	}
 	pkt.InPort = int32(p.Index)
@@ -716,9 +738,16 @@ type Network struct {
 	ports []*Port
 	// portAt[linkIdx] = [2]*Port: side A, side B.
 	portAt [][2]*Port
-	// pool recycles packets within this single-threaded run: packets die
-	// at host sinks, where receive returns them for reuse by NewPacket.
-	pool packet.Pool
+	// arena slab-allocates and recycles packets within this
+	// single-threaded run: packets die at host sinks, where receive
+	// returns their slots for reuse by NewPacket.
+	arena packet.Arena
+	// Control-frame delivery machinery: in-flight frames ride a recycled
+	// ctrlInflight record through one preallocated AfterArg handler, so
+	// the per-frame closure (hot on credit-based fabrics, which send one
+	// update per data packet) is gone.
+	ctrlDeliverFn func(any)
+	ctrlFree      []*ctrlInflight
 
 	// Payload conservation ledger (see fault.go): inFlightPayload is the
 	// flow-payload volume currently on a wire or inside a switch
@@ -751,6 +780,7 @@ func New(s *sim.Scheduler, t *topo.Topology, cfg Config) *Network {
 		cfg.MaxHops = 64
 	}
 	n := &Network{Sched: s, Topo: t, cfg: cfg}
+	n.ctrlDeliverFn = func(arg any) { n.deliverCtrl(arg.(*ctrlInflight)) }
 	n.nodes = make([]*node, len(t.Nodes))
 	for i, tn := range t.Nodes {
 		n.nodes[i] = &node{id: tn.ID, kind: tn.Kind}
@@ -794,18 +824,18 @@ func New(s *sim.Scheduler, t *topo.Topology, cfg Config) *Network {
 // Config returns the fabric configuration.
 func (n *Network) Config() Config { return n.cfg }
 
-// NewPacket returns a zeroed packet from the run's free list. Callers
-// (host NICs) fill the fields; the fabric recycles the packet when it
-// dies at a host sink.
-func (n *Network) NewPacket() *packet.Packet { return n.pool.Get() }
+// NewPacket returns a zeroed packet from the run's arena. Callers
+// (host NICs) fill the fields; the fabric recycles the slab slot when
+// the packet dies at a host sink.
+func (n *Network) NewPacket() *packet.Packet { return n.arena.Get() }
 
 // FreePacket recycles a packet that will never enter the fabric (e.g. a
 // cached NIC head that was discarded before transmission). The caller
 // must drop every reference.
-func (n *Network) FreePacket(pkt *packet.Packet) { n.pool.Put(pkt) }
+func (n *Network) FreePacket(pkt *packet.Packet) { n.arena.Put(pkt) }
 
 // PacketsRecycled reports how many dead packets the run reused.
-func (n *Network) PacketsRecycled() uint64 { return n.pool.Recycled }
+func (n *Network) PacketsRecycled() uint64 { return n.arena.Recycled }
 
 // Ports returns all ports (both sides of every link).
 func (n *Network) Ports() []*Port { return n.ports }

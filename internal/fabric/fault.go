@@ -99,7 +99,7 @@ func (p *Port) dropFaulted(pkt *packet.Packet) {
 			Prio: pkt.Priority, Flow: int64(pkt.Flow), Val: int64(pkt.Size),
 		})
 	}
-	p.net.pool.Put(pkt)
+	p.net.arena.Put(pkt)
 }
 
 // SetLinkDown takes both sides of a topology link down (or up), which is

@@ -153,7 +153,10 @@ type Manager struct {
 	net *fabric.Network
 	cfg Config
 
-	endpoints map[packet.NodeID]*Endpoint
+	// endpoints is indexed by NodeID (dense by construction in topo);
+	// switch entries are nil. A slice lookup on the per-packet sink path
+	// beats a map probe.
+	endpoints []*Endpoint
 	flows     []*Flow
 	nextID    packet.FlowID
 
@@ -170,7 +173,7 @@ func Install(n *fabric.Network, cfg Config) *Manager {
 	if cfg.MTU <= 0 {
 		cfg.MTU = 1000
 	}
-	m := &Manager{net: n, cfg: cfg, endpoints: make(map[packet.NodeID]*Endpoint)}
+	m := &Manager{net: n, cfg: cfg, endpoints: make([]*Endpoint, len(n.Topo.Nodes))}
 	for _, nd := range n.Topo.Nodes {
 		if nd.Kind != topo.Host {
 			continue
@@ -190,8 +193,14 @@ func (m *Manager) Config() Config { return m.cfg }
 // Flows returns all flows registered so far.
 func (m *Manager) Flows() []*Flow { return m.flows }
 
-// Endpoint returns the endpoint of a host.
-func (m *Manager) Endpoint(h packet.NodeID) *Endpoint { return m.endpoints[h] }
+// Endpoint returns the endpoint of a host (nil for switches and unknown
+// nodes).
+func (m *Manager) Endpoint(h packet.NodeID) *Endpoint {
+	if int(h) >= len(m.endpoints) || h < 0 {
+		return nil
+	}
+	return m.endpoints[h]
+}
 
 // SetPriority assigns the flow's PFC priority / virtual lane. It must be
 // called before the flow starts sending.
@@ -200,11 +209,11 @@ func (m *Manager) SetPriority(f *Flow, prio uint8) { f.Priority = prio }
 // AddFlow registers a flow of size bytes from src to dst starting at
 // start, paced by ctrl. It returns the Flow for later inspection.
 func (m *Manager) AddFlow(src, dst packet.NodeID, size units.ByteSize, start units.Time, ctrl RateController) *Flow {
-	ep, ok := m.endpoints[src]
-	if !ok {
+	ep := m.Endpoint(src)
+	if ep == nil {
 		panic(fmt.Sprintf("host: AddFlow from non-host %d", src))
 	}
-	if _, ok := m.endpoints[dst]; !ok {
+	if m.Endpoint(dst) == nil {
 		panic(fmt.Sprintf("host: AddFlow to non-host %d", dst))
 	}
 	if size <= 0 {

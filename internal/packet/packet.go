@@ -130,6 +130,10 @@ type Packet struct {
 	InPort int32
 	// Hops counts switch traversals (routing-loop guard).
 	Hops int8
+	// h is the packet's arena handle (its slab index), stamped by
+	// Arena.Get and preserved across the zeroing reset so Put can return
+	// the packet to the free list without a pointer-to-index lookup.
+	h Handle
 }
 
 // String renders a compact description for traces and test failures.
@@ -145,42 +149,86 @@ const HeaderBytes units.ByteSize = 48
 // AckBytes is the wire size of an acknowledgement.
 const AckBytes units.ByteSize = 64
 
-// Pool is a packet free list for one simulation run. Packets die at the
+// Handle is the index-based identity of an arena packet: chunk number in
+// the high bits, offset within the chunk in the low ChunkBits.
+type Handle uint32
+
+// Arena geometry: packets are allocated in fixed slabs of 2^ChunkBits.
+// 512 × ~72 B ≈ 37 KB per slab — big enough that a fig3-scale run lives
+// in a handful of slabs, small enough that tiny unit-test networks don't
+// balloon.
+const (
+	ChunkBits = 9
+	chunkSize = 1 << ChunkBits
+	chunkMask = chunkSize - 1
+)
+
+// Arena is a chunked slab allocator for one simulation run's packets.
+// Packet is deliberately pointer-free, so a slab is opaque to the garbage
+// collector: the collector neither scans slab interiors nor tracks one
+// object per packet, and pointers into a slab never go stale because
+// chunks, once allocated, are never moved or resized. Packets die at the
 // sinks (every packet is eventually consumed by a host), so within a
-// single-threaded run the fabric can recycle them instead of discarding
-// ~one allocation per packet per run. A Pool must not be shared between
-// concurrently running simulations; parallel sweeps give each run its own
-// network and therefore its own pool.
-type Pool struct {
-	free []*Packet
+// single-threaded run the fabric recycles indices through a free list
+// instead of allocating ~one object per packet per run. An Arena must not
+// be shared between concurrently running simulations; parallel sweeps
+// give each run its own network and therefore its own arena.
+type Arena struct {
+	chunks [][]Packet
+	free   []Handle
+	// used is the bump-allocation high-water mark: handles below it have
+	// been handed out at least once.
+	used uint32
 	// Recycled counts Put calls, for instrumentation.
 	Recycled uint64
 }
 
-// Get returns a zeroed packet, reusing a recycled one when available.
-func (p *Pool) Get() *Packet {
-	if n := len(p.free); n > 0 {
-		pkt := p.free[n-1]
-		p.free[n-1] = nil
-		p.free = p.free[:n-1]
-		*pkt = Packet{}
-		return pkt
+// Get returns a zeroed packet, reusing a free slab slot when one is
+// available and bump-allocating (growing the arena by one chunk at a
+// time) otherwise. The returned pointer is stable for the packet's
+// lifetime but must not be used after Put.
+func (a *Arena) Get() *Packet {
+	var h Handle
+	if n := len(a.free); n > 0 {
+		h = a.free[n-1]
+		a.free = a.free[:n-1]
+	} else {
+		h = Handle(a.used)
+		a.used++
+		if int(h>>ChunkBits) == len(a.chunks) {
+			a.chunks = append(a.chunks, make([]Packet, chunkSize))
+		}
 	}
-	return &Packet{}
+	pkt := &a.chunks[h>>ChunkBits][h&chunkMask]
+	*pkt = Packet{h: h}
+	return pkt
 }
 
-// Put recycles a dead packet. The caller must not touch pkt afterwards:
-// the next Get may hand it to an unrelated flow.
-func (p *Pool) Put(pkt *Packet) {
+// Put recycles a dead arena packet by pushing its handle back on the
+// free list. The caller must not touch pkt afterwards: the next Get may
+// hand the same slot to an unrelated flow. Only packets obtained from
+// this arena's Get may be Put.
+func (a *Arena) Put(pkt *Packet) {
 	if pkt == nil {
 		return
 	}
-	p.free = append(p.free, pkt)
-	p.Recycled++
+	a.free = append(a.free, pkt.h)
+	a.Recycled++
 }
 
-// Len reports the number of packets currently parked in the pool.
-func (p *Pool) Len() int { return len(p.free) }
+// At resolves a handle back to its packet slot.
+func (a *Arena) At(h Handle) *Packet {
+	return &a.chunks[h>>ChunkBits][h&chunkMask]
+}
+
+// Handle reports a packet's arena handle.
+func (a *Arena) Handle(pkt *Packet) Handle { return pkt.h }
+
+// Len reports the number of packet slots currently parked on the free list.
+func (a *Arena) Len() int { return len(a.free) }
+
+// Chunks reports how many slabs the arena has allocated.
+func (a *Arena) Chunks() int { return len(a.chunks) }
 
 // CNPBytes is the wire size of a congestion notification packet.
 const CNPBytes units.ByteSize = 64

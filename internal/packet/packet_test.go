@@ -95,46 +95,81 @@ func TestPacketString(t *testing.T) {
 	}
 }
 
-func TestPoolRecyclesAndZeroes(t *testing.T) {
-	var pool Pool
-	a := pool.Get()
+func TestArenaRecyclesAndZeroes(t *testing.T) {
+	var arena Arena
+	a := arena.Get()
 	a.Flow, a.Seq, a.Code, a.EchoCE, a.Hops = 7, 42, CE, true, 3
-	pool.Put(a)
-	if pool.Len() != 1 {
-		t.Fatalf("Len() = %d after Put, want 1", pool.Len())
+	arena.Put(a)
+	if arena.Len() != 1 {
+		t.Fatalf("Len() = %d after Put, want 1", arena.Len())
 	}
-	b := pool.Get()
+	b := arena.Get()
 	if b != a {
-		t.Error("Get did not reuse the recycled packet")
+		t.Error("Get did not reuse the recycled slab slot")
 	}
-	if *b != (Packet{}) {
+	if b.Flow != 0 || b.Seq != 0 || b.Code != NotCapable || b.EchoCE || b.Hops != 0 {
 		t.Errorf("recycled packet not zeroed: %+v", *b)
 	}
-	if pool.Len() != 0 {
-		t.Errorf("Len() = %d after Get, want 0", pool.Len())
+	if arena.Len() != 0 {
+		t.Errorf("Len() = %d after Get, want 0", arena.Len())
 	}
-	if pool.Recycled != 1 {
-		t.Errorf("Recycled = %d, want 1", pool.Recycled)
+	if arena.Recycled != 1 {
+		t.Errorf("Recycled = %d, want 1", arena.Recycled)
 	}
 }
 
-func TestPoolGetAllocatesWhenEmpty(t *testing.T) {
-	var pool Pool
-	a, b := pool.Get(), pool.Get()
+func TestArenaGetAllocatesWhenEmpty(t *testing.T) {
+	var arena Arena
+	a, b := arena.Get(), arena.Get()
 	if a == nil || b == nil || a == b {
-		t.Fatalf("empty pool must hand out distinct packets")
+		t.Fatalf("empty arena must hand out distinct packets")
 	}
-	pool.Put(nil) // nil is a no-op, not a panic
-	if pool.Len() != 0 {
-		t.Errorf("Len() = %d after Put(nil), want 0", pool.Len())
+	arena.Put(nil) // nil is a no-op, not a panic
+	if arena.Len() != 0 {
+		t.Errorf("Len() = %d after Put(nil), want 0", arena.Len())
 	}
 }
 
-func TestPoolSteadyStateAllocs(t *testing.T) {
-	var pool Pool
-	pool.Put(&Packet{})
+// TestArenaHandlesAndChunks exercises the slab geometry: pointers are
+// stable across chunk growth, handles round-trip through At, and the
+// arena grows one chunk per 2^ChunkBits bump allocations.
+func TestArenaHandlesAndChunks(t *testing.T) {
+	var arena Arena
+	const n = 3*(1<<ChunkBits) + 17
+	pkts := make([]*Packet, n)
+	for i := range pkts {
+		pkts[i] = arena.Get()
+		pkts[i].Seq = int32(i)
+	}
+	if want := n>>ChunkBits + 1; arena.Chunks() != want {
+		t.Errorf("Chunks() = %d after %d gets, want %d", arena.Chunks(), n, want)
+	}
+	for i, p := range pkts {
+		if p.Seq != int32(i) {
+			t.Fatalf("packet %d overwritten (Seq=%d): chunk growth moved live packets", i, p.Seq)
+		}
+		if got := arena.At(arena.Handle(p)); got != p {
+			t.Fatalf("At(Handle(pkts[%d])) = %p, want %p", i, got, p)
+		}
+	}
+	// Recycling reuses slots LIFO without growing the arena.
+	chunks := arena.Chunks()
+	for _, p := range pkts {
+		arena.Put(p)
+	}
+	for range pkts {
+		arena.Get()
+	}
+	if arena.Chunks() != chunks {
+		t.Errorf("Chunks() grew %d -> %d across a full recycle", chunks, arena.Chunks())
+	}
+}
+
+func TestArenaSteadyStateAllocs(t *testing.T) {
+	var arena Arena
+	arena.Put(arena.Get())
 	if allocs := testing.AllocsPerRun(1000, func() {
-		pool.Put(pool.Get())
+		arena.Put(arena.Get())
 	}); allocs > 0 {
 		t.Errorf("steady-state Get/Put allocates %.1f/op, want 0", allocs)
 	}

@@ -149,16 +149,32 @@ func DModK() Selector {
 }
 
 // Attach installs the table on a fabric network with the given selector.
+// Single-choice next hops (the overwhelmingly common case outside ECMP
+// fan-out stages) are pre-resolved to port pointers, so the per-hop route
+// lookup is one dense 2-D load instead of a choices fetch plus a PortOn
+// search.
 func (tb *Table) Attach(n *fabric.Network, sel Selector) {
+	single := make([][]*fabric.Port, len(tb.next))
+	for node := range tb.next {
+		single[node] = make([]*fabric.Port, len(tb.hosts))
+		for hi, choices := range tb.next[node] {
+			if len(choices) == 1 {
+				single[node][hi] = n.PortOn(packet.NodeID(node), int(choices[0]))
+			}
+		}
+	}
 	n.Route = func(sw packet.NodeID, pkt *packet.Packet) *fabric.Port {
-		choices := tb.Choices(sw, pkt.Dst)
+		hi := tb.hostOf[pkt.Dst]
+		if hi < 0 {
+			panic(fmt.Sprintf("routing: destination %s is not a host", tb.topo.Name(pkt.Dst)))
+		}
+		if p := single[sw][hi]; p != nil {
+			return p
+		}
+		choices := tb.next[sw][hi]
 		if len(choices) == 0 {
 			return nil
 		}
-		link := choices[0]
-		if len(choices) > 1 {
-			link = sel(pkt, choices)
-		}
-		return n.PortOn(sw, int(link))
+		return n.PortOn(sw, int(sel(pkt, choices)))
 	}
 }

@@ -100,6 +100,164 @@ func (r *refSched) RunUntil(deadline units.Time) {
 	}
 }
 
+// TestDifferentialHorizonCrossing drives three schedulers — the
+// wheel+heap hybrid (New), the heap-only configuration (NewHeapOnly) and
+// the container/heap ghost-semantics reference — with one randomized
+// trace whose fire times straddle every band boundary: the current
+// level-0 bucket, the level-0 wheel, the level-1 wheel, and the
+// beyond-horizon heap overflow. Clock steps likewise range from
+// intra-bucket hops to leaps that cross whole level-1 blocks, so events
+// repeatedly migrate heap→wheel→heap as the horizon advances. On top of
+// the per-op schedule/cancel mix, a mass-churn op cancels or reschedules
+// a window of recent handles in one burst (reschedules deliberately jump
+// bands). All three must agree on firing order, clock and liveness after
+// every chunk, and both DUTs must pass DebugCheck — wheel residency is a
+// placement optimization, never a behavior change.
+func TestDifferentialHorizonCrossing(t *testing.T) {
+	const (
+		l0Span = 1 << l1GranBits // level-0 wheel horizon, in time units
+		l1Span = int64(1) << 35  // level-1 wheel horizon
+		ops    = 40
+		chunks = 60
+	)
+	for _, seed := range []uint64{7, 99, 0xfeedface} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			r := rng.New(seed)
+			dut := New()
+			ho := NewHeapOnly()
+			ref := newRefSched()
+
+			var dutLog, hoLog, refLog []uint64
+			var token uint64
+			var dutIDs, hoIDs []EventID
+			var refIDs []uint64
+
+			offset := func() units.Time {
+				switch r.Intn(4) {
+				case 0: // current or next level-0 bucket
+					return units.Time(1 + r.Intn(1<<l0GranBits))
+				case 1: // level-0 wheel band
+					return units.Time(1 + r.Intn(l0Span))
+				case 2: // level-1 wheel band
+					return units.Time(int64(l0Span) + int64(r.Intn(int(l1Span-l0Span))))
+				default: // beyond the wheel horizon: heap overflow
+					return units.Time(l1Span + int64(r.Intn(int(l1Span))))
+				}
+			}
+			schedule := func(at units.Time) {
+				token++
+				tok := token
+				dutIDs = append(dutIDs, dut.At(at, func() { dutLog = append(dutLog, tok) }))
+				hoIDs = append(hoIDs, ho.At(at, func() { hoLog = append(hoLog, tok) }))
+				refIDs = append(refIDs, ref.At(at, func() { refLog = append(refLog, tok) }))
+			}
+
+			base := units.Time(0)
+			for chunk := 0; chunk < chunks; chunk++ {
+				for op := 0; op < ops; op++ {
+					switch r.Intn(6) {
+					case 0, 1: // schedule across a random band
+						schedule(base + offset())
+					case 2: // cancel a random handle (live or stale)
+						if len(dutIDs) == 0 {
+							continue
+						}
+						i := r.Intn(len(dutIDs))
+						ok1 := dut.Cancel(dutIDs[i])
+						ok2 := ho.Cancel(hoIDs[i])
+						ok3 := ref.Cancel(refIDs[i])
+						if ok1 != ok3 || ok2 != ok3 {
+							t.Fatalf("chunk %d: Cancel liveness diverged: dut=%v heapOnly=%v ref=%v", chunk, ok1, ok2, ok3)
+						}
+					case 3: // reschedule into a (usually different) band
+						if len(dutIDs) == 0 {
+							continue
+						}
+						i := r.Intn(len(dutIDs))
+						at := base + offset()
+						ok1 := dut.Reschedule(dutIDs[i], at)
+						ok2 := ho.Reschedule(hoIDs[i], at)
+						nid, ok3 := ref.Reschedule(refIDs[i], at)
+						if ok1 != ok3 || ok2 != ok3 {
+							t.Fatalf("chunk %d: Reschedule liveness diverged: dut=%v heapOnly=%v ref=%v", chunk, ok1, ok2, ok3)
+						}
+						if ok3 {
+							refIDs[i] = nid
+						}
+					case 4: // same-instant burst at a band boundary: FIFO ties
+						at := base + units.Time(1+r.Intn(3)*l0Span/2)
+						for k := 0; k < 3; k++ {
+							schedule(at)
+						}
+					case 5: // mass churn: cancel or band-hop a window of recent handles
+						n := len(dutIDs)
+						if n == 0 {
+							continue
+						}
+						lo := n - 16
+						if lo < 0 {
+							lo = 0
+						}
+						for i := lo; i < n; i++ {
+							if (i-lo)%2 == 0 {
+								dut.Cancel(dutIDs[i])
+								ho.Cancel(hoIDs[i])
+								ref.Cancel(refIDs[i])
+							} else {
+								at := base + offset()
+								dut.Reschedule(dutIDs[i], at)
+								ho.Reschedule(hoIDs[i], at)
+								if nid, ok := ref.Reschedule(refIDs[i], at); ok {
+									refIDs[i] = nid
+								}
+							}
+						}
+					}
+				}
+				// Step the clock: intra-bucket, cross-bucket, cross-block, or
+				// a leap over several level-1 blocks.
+				switch r.Intn(4) {
+				case 0:
+					base += units.Time(1 + r.Intn(1<<l0GranBits))
+				case 1:
+					base += units.Time(1 + r.Intn(l0Span))
+				case 2:
+					base += units.Time(1 + int64(r.Intn(int(l1Span))))
+				default:
+					base += units.Time(l1Span + int64(r.Intn(int(l1Span))))
+				}
+				dut.RunUntil(base)
+				ho.RunUntil(base)
+				ref.RunUntil(base)
+				if dut.Now() != ref.now || ho.Now() != ref.now {
+					t.Fatalf("chunk %d: clock diverged: dut=%v heapOnly=%v ref=%v", chunk, dut.Now(), ho.Now(), ref.now)
+				}
+				if dut.Pending() != len(ref.live) || ho.Pending() != len(ref.live) {
+					t.Fatalf("chunk %d: live events diverged: dut=%d heapOnly=%d ref=%d", chunk, dut.Pending(), ho.Pending(), len(ref.live))
+				}
+				if err := dut.DebugCheck(); err != nil {
+					t.Fatalf("chunk %d: hybrid DebugCheck: %v", chunk, err)
+				}
+				if err := ho.DebugCheck(); err != nil {
+					t.Fatalf("chunk %d: heap-only DebugCheck: %v", chunk, err)
+				}
+			}
+			dut.RunUntil(units.Forever - 1)
+			ho.RunUntil(units.Forever - 1)
+			ref.RunUntil(units.Forever - 1)
+			if len(dutLog) != len(refLog) || len(hoLog) != len(refLog) {
+				t.Fatalf("fired dut=%d heapOnly=%d ref=%d events", len(dutLog), len(hoLog), len(refLog))
+			}
+			for i := range dutLog {
+				if dutLog[i] != refLog[i] || hoLog[i] != refLog[i] {
+					t.Fatalf("execution order diverged at %d: dut=%d heapOnly=%d ref=%d", i, dutLog[i], hoLog[i], refLog[i])
+				}
+			}
+		})
+	}
+}
+
 // TestDifferentialAgainstContainerHeap drives both schedulers with an
 // identical randomized trace and requires identical firing order, clock
 // advance and live-event counts after every chunk.

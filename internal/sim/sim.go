@@ -5,18 +5,33 @@
 // a monotonically increasing sequence number), which makes every run
 // reproducible regardless of map iteration order or GC timing.
 //
-// The queue is an indexed four-ary min-heap with stable handles: every
-// scheduled event gets an EventID, and Cancel/Reschedule remove or move the
-// event in place (sift by tracked heap index) instead of leaving dead
-// "ghost" entries queued until their fire time. The heap itself holds only
-// pointer-free keys (time, sequence, slot) — sift moves are plain memmoves
-// with no write barriers — while callbacks live in the slot table and never
-// move. Hot emitters schedule a preallocated func(arg) + arg pair
-// (AtArg/AfterArg) instead of minting a fresh closure per event.
+// The queue is a hybrid of a two-level hierarchical timing wheel and an
+// indexed four-ary min-heap. Events aimed inside the wheel horizon
+// (~34 ms of simulated time) are filed into power-of-two time slots with
+// O(1) insert and O(1) cancel — no sift, no comparison — and linked
+// intrusively through the slot table, so the wheel itself allocates
+// nothing per event. The heap holds only the "current band" (events in
+// the time bucket the clock is in, which is where ordering actually
+// matters) plus the rare timers beyond the wheel horizon; because the
+// wheel absorbs the bulk of pending events, the heap stays a few entries
+// deep and its O(log n) operations run at small n. As the clock advances
+// bucket by bucket, wheel cohorts flush into the heap, which re-sorts
+// them by (time, sequence) — making batched delivery bit-identical to the
+// fully sorted order a single global heap would produce.
+//
+// Every scheduled event gets an EventID, and Cancel/Reschedule remove or
+// move the event in place wherever it lives (heap index or wheel slot
+// list) instead of leaving dead "ghost" entries queued until their fire
+// time. The heap holds only pointer-free keys (time, sequence, slot) —
+// sift moves are plain memmoves with no write barriers — while callbacks
+// live in the slot table and never move. Hot emitters schedule a
+// preallocated func(arg) + arg pair (AtArg/AfterArg) instead of minting a
+// fresh closure per event.
 package sim
 
 import (
 	"fmt"
+	"math/bits"
 
 	"github.com/tcdnet/tcd/internal/units"
 )
@@ -29,6 +44,32 @@ type EventID uint64
 
 // NoEvent is the zero EventID; no live event ever has it.
 const NoEvent EventID = 0
+
+// Wheel geometry. Level 0 buckets are 2^l0GranBits ps (~8.2 ns) wide —
+// below the median event gap of a busy fig3-scale run (~14 ns), so most
+// buckets hold zero or one event and dispatch takes the singleton fast
+// path in advance — and level 1 buckets span one full level-0 rotation.
+// Both levels have 2^wheelBits slots:
+//
+//	level 0: 2048 x 8.192 ns  -> horizon ~16.8 us
+//	level 1: 2048 x 16.8 us   -> horizon ~34.4 ms
+//
+// Events beyond level 1 overflow into the heap. The per-level slot
+// arrays are plain uint32 list heads (8 KB per level); event linkage
+// lives in the slot table, so wheel residency costs no allocation.
+// The granularity was picked empirically: 2^12..2^16 are within a few
+// percent of each other on fig3, coarser buckets lose the singleton
+// fast path, finer ones pay more empty-bucket advances.
+const (
+	l0GranBits = 13
+	wheelBits  = 11
+	wheelSize  = 1 << wheelBits
+	wheelMask  = wheelSize - 1
+	l1GranBits = l0GranBits + wheelBits
+)
+
+// noIdx terminates the intrusive per-bucket lists.
+const noIdx = ^uint32(0)
 
 // key is one heap entry: the sort key plus the slot holding the payload.
 // It is deliberately pointer-free (sift moves are barrier-free copies)
@@ -62,16 +103,40 @@ func less(a, b *key) bool {
 	return int32(uint32(a.ss>>32)-uint32(b.ss>>32)) < 0
 }
 
-// slotRef is one handle's event payload and location: the current heap
-// index (kept in sync by every sift), the generation that outstanding
-// EventIDs must match, and the callback. Exactly one of fn/afn is set:
+// slotLoc is one handle's location record. idx encodes where the event
+// currently lives:
+//
+//	idx >= 0            heap, at heap index idx (kept in sync by every sift)
+//	idx == -1           dead (fired, cancelled, or never scheduled)
+//	idx <= -2           wheel: level 0 slot -(idx+2), or level 1 slot
+//	                    -(idx+2)-wheelSize
+//
+// Wheel-resident events keep their fire time and sequence here (at, sq)
+// and are doubly linked through next/prev, so insert and cancel are O(1)
+// pointer splices and flushing a bucket rebuilds heap keys without
+// touching any per-bucket storage. gen is the generation outstanding
+// EventIDs must match.
+//
+// Locations are deliberately split from payloads (slotFn): every sift
+// writes a location backpointer and every wheel splice touches two or
+// three location records at effectively random slot indices, so halving
+// the record doubles how many of those scattered touches the caches
+// absorb. The payload is only read once, at dispatch.
+type slotLoc struct {
+	idx  int32
+	gen  uint32
+	at   units.Time
+	sq   uint32
+	next uint32
+	prev uint32
+}
+
+// slotFn is one handle's event payload. Exactly one of fn/afn is set:
 // fn is the closure form, afn+arg the typed-argument form used by
 // per-packet hot paths (a pointer-shaped arg boxes into the interface
 // without allocating). The payload is written once at schedule time and
-// cleared at release; it never moves with the heap.
-type slotRef struct {
-	idx int32
-	gen uint32
+// cleared at release.
+type slotFn struct {
 	fn  func()
 	afn func(any)
 	arg any
@@ -82,23 +147,75 @@ type slotRef struct {
 type Scheduler struct {
 	now units.Time
 	seq uint64
-	// heap is a four-ary min-heap of pointer-free keys: no per-event
+	// bandEnd is the exclusive end of the current time band: heap events
+	// with at < bandEnd are runnable without consulting the wheel. It is
+	// the end of level-0 bucket curB (units.Forever in heap-only mode).
+	bandEnd units.Time
+	// heap is a four-ary min-heap of pointer-free keys holding the
+	// current band plus events beyond the wheel horizon: no per-event
 	// allocation, no interface boxing, no write barriers on sift, and
 	// four children share a cache line instead of two per level.
 	heap []key
-	// slots maps EventID slots to heap positions and payloads;
-	// freeSlots recycles released slot indices so the table stays as
-	// small as the peak queue depth.
-	slots     []slotRef
+	// locs and fns map EventID slots to locations and payloads (parallel
+	// tables, see slotLoc); freeSlots recycles released slot indices so
+	// the tables stay as small as the peak queue depth.
+	locs      []slotLoc
+	fns       []slotFn
 	freeSlots []uint32
+
+	// Timing wheel state. curB is the level-0 bucket the clock is in
+	// (now>>l0GranBits), curB1 the level-1 bucket (now>>l1GranBits).
+	// head0/head1 are the per-slot intrusive list heads, occ0/occ1 the
+	// occupancy bitmaps used to jump over empty buckets, wheelCount the
+	// number of events resident in either level.
+	curB       int64
+	curB1      int64
+	head0      []uint32
+	head1      []uint32
+	occ0       []uint64
+	occ1       []uint64
+	wheelCount int
+	// count1 is the number of events resident in level 1 alone, letting
+	// advance skip the level-1 occupancy scan (32 words) entirely while
+	// no far timers are parked there.
+	count1 int
+	// noWheel forces every event into the heap — the pre-wheel behavior,
+	// kept for differential tests and crossover benchmarks.
+	noWheel bool
+
 	// processed counts executed events, for instrumentation.
 	processed uint64
 	stopped   bool
 }
 
-// New returns an empty scheduler at time zero.
+// New returns an empty hybrid scheduler at time zero.
 func New() *Scheduler {
-	return &Scheduler{heap: make([]key, pad, pad+61)}
+	s := &Scheduler{
+		heap:    make([]key, pad, pad+61),
+		bandEnd: 1 << l0GranBits,
+		head0:   make([]uint32, wheelSize),
+		head1:   make([]uint32, wheelSize),
+		occ0:    make([]uint64, wheelSize/64),
+		occ1:    make([]uint64, wheelSize/64),
+	}
+	for i := range s.head0 {
+		s.head0[i] = noIdx
+		s.head1[i] = noIdx
+	}
+	return s
+}
+
+// NewHeapOnly returns a scheduler with the timing wheel disabled: every
+// event goes straight into the indexed heap, reproducing the pre-wheel
+// scheduler exactly. It exists as the semantic reference for the
+// differential tests and as the baseline arm of the wheel-vs-heap
+// crossover benchmarks; simulations should use New.
+func NewHeapOnly() *Scheduler {
+	return &Scheduler{
+		heap:    make([]key, pad, pad+61),
+		bandEnd: units.Forever,
+		noWheel: true,
+	}
 }
 
 // Now reports the current simulated time.
@@ -138,7 +255,7 @@ func (s *Scheduler) AfterArg(d units.Time, fn func(any), arg any) EventID {
 
 func (s *Scheduler) schedule(t units.Time, fn func(), afn func(any), arg any) EventID {
 	if s.stopped {
-		// A stopped scheduler has drained its heap and retains nothing;
+		// A stopped scheduler has drained its queue and retains nothing;
 		// accepting new events would silently re-grow it from stale
 		// timers (armed sim.Timers re-arming out of teardown paths).
 		// Scheduling after Stop is a no-op until the next RunUntil.
@@ -153,36 +270,171 @@ func (s *Scheduler) schedule(t units.Time, fn func(), afn func(any), arg any) Ev
 		slot = s.freeSlots[n-1]
 		s.freeSlots = s.freeSlots[:n-1]
 	} else {
-		slot = uint32(len(s.slots))
-		s.slots = append(s.slots, slotRef{gen: 1})
+		slot = uint32(len(s.locs))
+		s.locs = append(s.locs, slotLoc{gen: 1})
+		s.fns = append(s.fns, slotFn{})
 	}
-	ref := &s.slots[slot]
 	// releaseSlot nil-cleared the payload, so store only the form in
 	// use: fewer pointer writes, fewer GC write barriers per event.
+	pf := &s.fns[slot]
 	if fn != nil {
-		ref.fn = fn
+		pf.fn = fn
 	} else {
-		ref.afn, ref.arg = afn, arg
+		pf.afn, pf.arg = afn, arg
 	}
-	i := len(s.heap)
-	ref.idx = int32(i)
-	s.heap = append(s.heap, key{at: t, ss: uint64(uint32(s.seq))<<32 | uint64(slot)})
-	s.siftUp(i)
+	ref := &s.locs[slot]
+	sq := uint32(s.seq)
+	ref.at, ref.sq = t, sq
+	s.place(slot, t, sq)
 	return EventID(uint64(ref.gen)<<32 | uint64(slot))
 }
 
-// lookup resolves a handle to its heap index, rejecting stale handles
+// place files a live slot's event into the structure its fire time calls
+// for: the heap for the current band and beyond-horizon timers, a wheel
+// bucket otherwise. The slotRef's at/sq must already be set.
+func (s *Scheduler) place(slot uint32, t units.Time, sq uint32) {
+	if !s.noWheel {
+		d0 := int64(t)>>l0GranBits - s.curB
+		if d0 >= 1 {
+			if d0 <= wheelSize {
+				s.wheelPush(s.head0, s.occ0, int(int64(t)>>l0GranBits)&wheelMask, slot, false)
+				return
+			}
+			if d1 := int64(t)>>l1GranBits - s.curB1; d1 <= wheelSize {
+				s.wheelPush(s.head1, s.occ1, int(int64(t)>>l1GranBits)&wheelMask, slot, true)
+				return
+			}
+		}
+	}
+	ref := &s.locs[slot]
+	i := len(s.heap)
+	ref.idx = int32(i)
+	s.heap = append(s.heap, key{at: t, ss: uint64(sq)<<32 | uint64(slot)})
+	s.siftUp(i)
+}
+
+// wheelPush front-inserts a slot into one bucket's intrusive list. Order
+// within a bucket is irrelevant: the flush into the heap re-sorts the
+// cohort by (time, sequence).
+func (s *Scheduler) wheelPush(head []uint32, occ []uint64, b int, slot uint32, l1 bool) {
+	ref := &s.locs[slot]
+	if l1 {
+		ref.idx = -2 - int32(b) - wheelSize
+	} else {
+		ref.idx = -2 - int32(b)
+	}
+	h := head[b]
+	ref.next, ref.prev = h, noIdx
+	if h != noIdx {
+		s.locs[h].prev = slot
+	}
+	head[b] = slot
+	occ[b>>6] |= 1 << (uint(b) & 63)
+	s.wheelCount++
+	if l1 {
+		s.count1++
+	}
+}
+
+// wheelRemove unlinks a wheel-resident slot (ref.idx <= -2) from its
+// bucket list in O(1).
+func (s *Scheduler) wheelRemove(slot uint32) {
+	ref := &s.locs[slot]
+	b := int(-ref.idx) - 2
+	head, occ := s.head0, s.occ0
+	if b >= wheelSize {
+		b -= wheelSize
+		head, occ = s.head1, s.occ1
+		s.count1--
+	}
+	if ref.prev != noIdx {
+		s.locs[ref.prev].next = ref.next
+	} else {
+		head[b] = ref.next
+		if ref.next == noIdx {
+			occ[b>>6] &^= 1 << (uint(b) & 63)
+		}
+	}
+	if ref.next != noIdx {
+		s.locs[ref.next].prev = ref.prev
+	}
+	s.wheelCount--
+}
+
+// flushBucket migrates one bucket's cohort into the heap, which orders
+// it by (time, sequence) against everything else in the band.
+func (s *Scheduler) flushBucket(head []uint32, occ []uint64, b int) {
+	cur := head[b]
+	head[b] = noIdx
+	occ[b>>6] &^= 1 << (uint(b) & 63)
+	for cur != noIdx {
+		ref := &s.locs[cur]
+		next := ref.next
+		i := len(s.heap)
+		ref.idx = int32(i)
+		s.heap = append(s.heap, key{at: ref.at, ss: uint64(ref.sq)<<32 | uint64(cur)})
+		s.siftUp(i)
+		s.wheelCount--
+		cur = next
+	}
+}
+
+// cascade re-files one level-1 bucket when the clock enters its span:
+// every event lands in a level-0 bucket (or the heap, if its bucket is
+// the current one).
+func (s *Scheduler) cascade(b int) {
+	cur := s.head1[b]
+	s.head1[b] = noIdx
+	s.occ1[b>>6] &^= 1 << (uint(b) & 63)
+	for cur != noIdx {
+		ref := &s.locs[cur]
+		next := ref.next
+		s.wheelCount--
+		s.count1--
+		s.place(cur, ref.at, ref.sq)
+		cur = next
+	}
+}
+
+// nextOcc scans an occupancy bitmap for the first set bit at wrapped
+// distance 1..wheelSize from slot from, returning the distance (0 = none).
+func nextOcc(occ []uint64, from int) int {
+	// The remainder of the starting slot's word first, then whole words
+	// around the ring. Within a word the lowest set bit is always the
+	// nearest in scan order (the full-circle word's high bits were
+	// already checked empty by the first probe).
+	start := (from + 1) & wheelMask
+	w := start >> 6
+	bit := uint(start) & 63
+	if word := occ[w] >> bit; word != 0 {
+		s0 := w<<6 + int(bit) + bits.TrailingZeros64(word)
+		return (s0 - from) & wheelMask
+	}
+	for i := 1; i <= wheelSize/64; i++ {
+		wi := (w + i) & (wheelSize/64 - 1)
+		if word := occ[wi]; word != 0 {
+			d := (wi<<6 + bits.TrailingZeros64(word) - from) & wheelMask
+			if d == 0 {
+				d = wheelSize
+			}
+			return d
+		}
+	}
+	return 0
+}
+
+// lookup resolves a handle to its slot, rejecting stale handles
 // (fired, cancelled, or recycled slots).
-func (s *Scheduler) lookup(id EventID) (int, bool) {
+func (s *Scheduler) lookup(id EventID) (uint32, bool) {
 	slot := uint32(id)
-	if int(slot) >= len(s.slots) {
+	if int(slot) >= len(s.locs) {
 		return 0, false
 	}
-	ref := &s.slots[slot]
-	if ref.gen != uint32(id>>32) || ref.idx < 0 {
+	ref := &s.locs[slot]
+	if ref.gen != uint32(id>>32) || ref.idx == -1 {
 		return 0, false
 	}
-	return int(ref.idx), true
+	return slot, true
 }
 
 // Scheduled reports whether the handle still refers to a queued event.
@@ -191,26 +443,31 @@ func (s *Scheduler) Scheduled(id EventID) bool {
 	return ok
 }
 
-// Cancel removes a pending event from the queue in place, dropping its
-// callback and argument references immediately. It reports whether the
-// handle was live; cancelling an already-fired or already-cancelled
-// event is a no-op.
+// Cancel removes a pending event from the queue in place — an O(1) list
+// splice for wheel-resident events, one sift for heap-resident ones —
+// dropping its callback and argument references immediately. It reports
+// whether the handle was live; cancelling an already-fired or
+// already-cancelled event is a no-op.
 func (s *Scheduler) Cancel(id EventID) bool {
-	i, ok := s.lookup(id)
+	slot, ok := s.lookup(id)
 	if !ok {
 		return false
 	}
-	s.removeAt(i)
+	if i := s.locs[slot].idx; i >= 0 {
+		s.removeAt(int(i))
+	} else {
+		s.wheelRemove(slot)
+		s.releaseSlot(slot)
+	}
 	return true
 }
 
-// Reschedule moves a pending event to absolute time t in place — one
-// sift, no queue growth. The event is re-sequenced as if freshly
-// scheduled, so it fires after everything already queued for the same
-// instant (identical tie-breaking to Cancel+At). It reports whether the
-// handle was live.
+// Reschedule moves a pending event to absolute time t in place. The
+// event is re-sequenced as if freshly scheduled, so it fires after
+// everything already queued for the same instant (identical tie-breaking
+// to Cancel+At). It reports whether the handle was live.
 func (s *Scheduler) Reschedule(id EventID, t units.Time) bool {
-	i, ok := s.lookup(id)
+	slot, ok := s.lookup(id)
 	if !ok {
 		return false
 	}
@@ -218,9 +475,21 @@ func (s *Scheduler) Reschedule(id EventID, t units.Time) bool {
 		panic(fmt.Sprintf("sim: rescheduling event to %v before now %v", t, s.now))
 	}
 	s.seq++
-	s.heap[i].at = t
-	s.heap[i].ss = uint64(uint32(s.seq))<<32 | uint64(uint32(s.heap[i].ss))
-	s.fix(i)
+	sq := uint32(s.seq)
+	ref := &s.locs[slot]
+	ref.at, ref.sq = t, sq
+	if i := ref.idx; i >= 0 && (s.noWheel || t < s.bandEnd || int64(t)>>l0GranBits-s.curB > wheelSize && int64(t)>>l1GranBits-s.curB1 > wheelSize) {
+		// Heap-to-heap move: one in-place key update plus a sift.
+		s.heap[i].at = t
+		s.heap[i].ss = uint64(sq)<<32 | uint64(slot)
+		s.fix(int(i))
+		return true
+	} else if i >= 0 {
+		s.unhookHeap(int(i))
+	} else {
+		s.wheelRemove(slot)
+	}
+	s.place(slot, t, sq)
 	return true
 }
 
@@ -228,32 +497,39 @@ func (s *Scheduler) Reschedule(id EventID, t units.Time) bool {
 // and invalidates every outstanding handle to it by bumping the
 // generation (skipping 0, which marks NoEvent).
 func (s *Scheduler) releaseSlot(slot uint32) {
-	ref := &s.slots[slot]
+	ref := &s.locs[slot]
 	ref.idx = -1
 	ref.gen++
 	if ref.gen == 0 {
 		ref.gen = 1
 	}
-	if ref.fn != nil {
-		ref.fn = nil
+	pf := &s.fns[slot]
+	if pf.fn != nil {
+		pf.fn = nil
 	} else {
-		ref.afn, ref.arg = nil, nil
+		pf.afn, pf.arg = nil, nil
 	}
 	s.freeSlots = append(s.freeSlots, slot)
 }
 
-// removeAt deletes the event at heap index i.
-func (s *Scheduler) removeAt(i int) {
+// unhookHeap deletes the event at heap index i without releasing its
+// slot (Reschedule keeps the slot alive across the move).
+func (s *Scheduler) unhookHeap(i int) {
 	n := len(s.heap) - 1
-	s.releaseSlot(s.heap[i].slotIdx())
 	if i != n {
 		s.heap[i] = s.heap[n]
-		s.slots[s.heap[i].slotIdx()].idx = int32(i)
+		s.locs[s.heap[i].slotIdx()].idx = int32(i)
 	}
 	s.heap = s.heap[:n]
 	if i < n {
 		s.fix(i)
 	}
+}
+
+// removeAt deletes the event at heap index i and releases its slot.
+func (s *Scheduler) removeAt(i int) {
+	s.releaseSlot(s.heap[i].slotIdx())
+	s.unhookHeap(i)
 }
 
 // fix restores the heap property around index i after its key changed.
@@ -298,11 +574,11 @@ func (s *Scheduler) popTop() {
 			}
 		}
 		h[i] = h[m]
-		s.slots[h[i].slotIdx()].idx = int32(i)
+		s.locs[h[i].slotIdx()].idx = int32(i)
 		i = m
 	}
 	h[i] = e
-	s.slots[e.slotIdx()].idx = int32(i)
+	s.locs[e.slotIdx()].idx = int32(i)
 	s.siftUp(i)
 }
 
@@ -315,11 +591,11 @@ func (s *Scheduler) siftUp(i int) {
 			break
 		}
 		h[i] = h[p]
-		s.slots[h[i].slotIdx()].idx = int32(i)
+		s.locs[h[i].slotIdx()].idx = int32(i)
 		i = p
 	}
 	h[i] = e
-	s.slots[e.slotIdx()].idx = int32(i)
+	s.locs[e.slotIdx()].idx = int32(i)
 }
 
 func (s *Scheduler) siftDown(i int) {
@@ -345,25 +621,45 @@ func (s *Scheduler) siftDown(i int) {
 			break
 		}
 		h[i] = h[m]
-		s.slots[h[i].slotIdx()].idx = int32(i)
+		s.locs[h[i].slotIdx()].idx = int32(i)
 		i = m
 	}
 	h[i] = e
-	s.slots[e.slotIdx()].idx = int32(i)
+	s.locs[e.slotIdx()].idx = int32(i)
 }
 
 // Stop makes Run/RunUntil return after the current event completes and
-// drains the heap: every pending event (and its closure) is discarded, so
-// a stopped scheduler retains nothing. Long sweeps run thousands of
-// schedulers back to back; without the drain each stopped run would pin
-// its undelivered closures (and everything they capture) until the whole
-// sweep finished.
+// drains the queue: every pending event (and its closure) is discarded
+// from both the heap and the wheel, so a stopped scheduler retains
+// nothing. Long sweeps run thousands of schedulers back to back; without
+// the drain each stopped run would pin its undelivered closures (and
+// everything they capture) until the whole sweep finished.
 func (s *Scheduler) Stop() {
 	s.stopped = true
 	for i := pad; i < len(s.heap); i++ {
 		s.releaseSlot(s.heap[i].slotIdx())
 	}
 	s.heap = s.heap[:pad]
+	if s.wheelCount > 0 {
+		for _, lvl := range [2]struct {
+			head []uint32
+			occ  []uint64
+		}{{s.head0, s.occ0}, {s.head1, s.occ1}} {
+			for b := 0; b < wheelSize; b++ {
+				for cur := lvl.head[b]; cur != noIdx; {
+					next := s.locs[cur].next
+					s.releaseSlot(cur)
+					cur = next
+				}
+				lvl.head[b] = noIdx
+			}
+			for w := range lvl.occ {
+				lvl.occ[w] = 0
+			}
+		}
+		s.wheelCount = 0
+		s.count1 = 0
+	}
 }
 
 // Stopped reports whether the scheduler is stopped (Stop was called and
@@ -371,55 +667,13 @@ func (s *Scheduler) Stop() {
 // events.
 func (s *Scheduler) Stopped() bool { return s.stopped }
 
-// DebugCheck verifies the internal consistency of the indexed heap: the
-// heap property over every parent/child pair, slot-table backpointers
-// matching heap positions, and free slots being truly dead. It is O(n)
-// and meant for tests (the fault-schedule fuzzer calls it after every
-// run); it returns the first violation found, or nil.
-func (s *Scheduler) DebugCheck() error {
-	live := 0
-	for i := pad; i < len(s.heap); i++ {
-		k := &s.heap[i]
-		if i > pad {
-			p := (i + 8) >> 2
-			if less(k, &s.heap[p]) {
-				return fmt.Errorf("sim: heap property violated at index %d (parent %d)", i, p)
-			}
-		}
-		slot := k.slotIdx()
-		if int(slot) >= len(s.slots) {
-			return fmt.Errorf("sim: heap index %d references slot %d beyond table (%d)", i, slot, len(s.slots))
-		}
-		ref := &s.slots[slot]
-		if int(ref.idx) != i {
-			return fmt.Errorf("sim: slot %d backpointer %d, heap position %d", slot, ref.idx, i)
-		}
-		if ref.fn == nil && ref.afn == nil {
-			return fmt.Errorf("sim: queued slot %d has no callback", slot)
-		}
-		live++
-	}
-	for _, slot := range s.freeSlots {
-		ref := &s.slots[slot]
-		if ref.idx >= 0 {
-			return fmt.Errorf("sim: free slot %d still points at heap index %d", slot, ref.idx)
-		}
-		if ref.fn != nil || ref.afn != nil || ref.arg != nil {
-			return fmt.Errorf("sim: free slot %d retains a callback or argument", slot)
-		}
-	}
-	if live+len(s.freeSlots) != len(s.slots) {
-		return fmt.Errorf("sim: %d live + %d free != %d slots", live, len(s.freeSlots), len(s.slots))
-	}
-	return nil
-}
-
-// Pending reports the number of queued events.
-func (s *Scheduler) Pending() int { return len(s.heap) - pad }
+// Pending reports the number of queued events across the heap and both
+// wheel levels.
+func (s *Scheduler) Pending() int { return len(s.heap) - pad + s.wheelCount }
 
 // Len reports the number of queued events (alias of Pending, matching
 // the container-style accessor sweeps and tests expect).
-func (s *Scheduler) Len() int { return len(s.heap) - pad }
+func (s *Scheduler) Len() int { return s.Pending() }
 
 // Run executes events until the queue is empty or Stop is called.
 func (s *Scheduler) Run() {
@@ -431,29 +685,223 @@ func (s *Scheduler) Run() {
 // the deadline (or at the last event if the queue drained first).
 func (s *Scheduler) RunUntil(deadline units.Time) {
 	s.stopped = false
-	for len(s.heap) > pad && !s.stopped {
-		top := s.heap[pad]
-		if top.at > deadline {
-			s.now = deadline
-			return
+	for !s.stopped {
+		if len(s.heap) > pad {
+			at := s.heap[pad].at
+			if at < s.bandEnd {
+				if at > deadline {
+					if s.now < deadline {
+						s.now = deadline
+					}
+					return
+				}
+				s.runBatch(at)
+				continue
+			}
 		}
-		// Copy the callback out and pop before running: the slot and
-		// heap cell are reusable immediately, so events scheduled from
-		// inside the callback allocate nothing.
-		ref := &s.slots[top.slotIdx()]
-		fn, afn, arg := ref.fn, ref.afn, ref.arg
+		if !s.advance(deadline) {
+			break
+		}
+	}
+	if deadline != units.Forever && s.now < deadline {
+		s.now = deadline
+	}
+}
+
+// runBatch executes every queued event with fire time exactly at — the
+// batched same-timestamp dispatch loop. The heap pops equal-time events
+// in sequence order, and events a callback schedules for the running
+// instant land in the heap with a later sequence, so they join the same
+// batch in FIFO position; the delivered order is bit-identical to the
+// unbatched loop's.
+func (s *Scheduler) runBatch(at units.Time) {
+	s.now = at
+	for {
+		top := s.heap[pad]
+		pf := &s.fns[top.slotIdx()]
+		fn, afn, arg := pf.fn, pf.afn, pf.arg
 		s.popTop()
-		s.now = top.at
 		s.processed++
 		if fn != nil {
 			fn()
 		} else {
 			afn(arg)
 		}
+		if s.stopped || len(s.heap) <= pad || s.heap[pad].at != at {
+			return
+		}
 	}
-	if deadline != units.Forever && s.now < deadline {
-		s.now = deadline
+}
+
+// advance moves the clock's band forward to the next bucket holding
+// work, cascading and flushing wheel cohorts into the heap. It reports
+// whether the caller should re-check the heap; false means nothing is
+// pending at or before the deadline (the clock is already settled).
+func (s *Scheduler) advance(deadline units.Time) bool {
+	for {
+		if len(s.heap) <= pad && s.wheelCount == 0 {
+			return false // nothing pending anywhere
+		}
+		target := int64(units.Forever) >> l0GranBits
+		if len(s.heap) > pad {
+			target = int64(s.heap[pad].at) >> l0GranBits
+		}
+		if s.wheelCount > 0 {
+			if d := nextOcc(s.occ0, int(s.curB)&wheelMask); d > 0 {
+				if b := s.curB + int64(d); b < target {
+					target = b
+				}
+			}
+			if s.count1 > 0 {
+				if d := nextOcc(s.occ1, int(s.curB1)&wheelMask); d > 0 {
+					// The earliest possible event in a level-1 bucket is
+					// its first level-0 bucket.
+					if b := (s.curB1 + int64(d)) << wheelBits; b < target {
+						target = b
+					}
+				}
+			}
+		}
+		if target > int64(deadline)>>l0GranBits {
+			if s.now < deadline {
+				s.now = deadline
+			}
+			return false
+		}
+		s.curB = target
+		s.bandEnd = units.Time(target+1) << l0GranBits
+		if b1 := target >> wheelBits; b1 != s.curB1 {
+			s.curB1 = b1
+			s.cascade(int(b1) & wheelMask)
+		}
+		b := int(target) & wheelMask
+		if s.occ0[b>>6]&(1<<(uint(b)&63)) != 0 {
+			if slot := s.head0[b]; len(s.heap) == pad && s.locs[slot].next == noIdx && s.locs[slot].at <= deadline {
+				// Singleton fast path: one event in the bucket and an
+				// empty heap means the event is the global minimum with
+				// no same-instant rival, so dispatch it straight off the
+				// wheel — no heap round-trip — and advance again: runs
+				// of singleton buckets (the common case at this bucket
+				// granularity) stay inside this loop. Events the
+				// callback schedules for the running instant land in the
+				// (empty) heap, which bounces back to the caller's
+				// same-timestamp batch loop.
+				s.head0[b] = noIdx
+				s.occ0[b>>6] &^= 1 << (uint(b) & 63)
+				s.wheelCount--
+				s.now = s.locs[slot].at
+				pf := &s.fns[slot]
+				fn, afn, arg := pf.fn, pf.afn, pf.arg
+				s.releaseSlot(slot)
+				s.processed++
+				if fn != nil {
+					fn()
+				} else {
+					afn(arg)
+				}
+				if s.stopped || len(s.heap) > pad {
+					return true
+				}
+				continue
+			}
+			s.flushBucket(s.head0, s.occ0, b)
+		}
+		return true
 	}
+}
+
+// DebugCheck verifies the internal consistency of the hybrid queue: the
+// heap property over every parent/child pair, location backpointers
+// matching heap positions and wheel lists, wheel occupancy bitmaps and
+// the wheelCount matching the lists, every wheel resident being filed in
+// the bucket its fire time maps to, and free slots being truly dead. It
+// is O(n + wheelSize) and meant for tests (the scheduler fuzzers call it
+// after every operation); it returns the first violation found, or nil.
+func (s *Scheduler) DebugCheck() error {
+	live := 0
+	for i := pad; i < len(s.heap); i++ {
+		k := &s.heap[i]
+		if i > pad {
+			p := (i + 8) >> 2
+			if less(k, &s.heap[p]) {
+				return fmt.Errorf("sim: heap property violated at index %d (parent %d)", i, p)
+			}
+		}
+		slot := k.slotIdx()
+		if int(slot) >= len(s.locs) {
+			return fmt.Errorf("sim: heap index %d references slot %d beyond table (%d)", i, slot, len(s.locs))
+		}
+		ref := &s.locs[slot]
+		if int(ref.idx) != i {
+			return fmt.Errorf("sim: slot %d backpointer %d, heap position %d", slot, ref.idx, i)
+		}
+		if pf := &s.fns[slot]; pf.fn == nil && pf.afn == nil {
+			return fmt.Errorf("sim: queued slot %d has no callback", slot)
+		}
+		live++
+	}
+	inWheel := 0
+	for lvl, w := range [2]struct {
+		head []uint32
+		occ  []uint64
+		gran uint
+		cur  int64
+	}{{s.head0, s.occ0, l0GranBits, s.curB}, {s.head1, s.occ1, l1GranBits, s.curB1}} {
+		for b := 0; b < len(w.head); b++ {
+			occupied := w.occ[b>>6]&(1<<(uint(b)&63)) != 0
+			if (w.head[b] != noIdx) != occupied {
+				return fmt.Errorf("sim: wheel L%d bucket %d occupancy bit %v but head %v", lvl, b, occupied, w.head[b])
+			}
+			prev := noIdx
+			for cur := w.head[b]; cur != noIdx; cur = s.locs[cur].next {
+				ref := &s.locs[cur]
+				want := -2 - int32(b) - int32(lvl)*wheelSize
+				if ref.idx != want {
+					return fmt.Errorf("sim: wheel L%d bucket %d slot %d has idx %d, want %d", lvl, b, cur, ref.idx, want)
+				}
+				if ref.prev != prev {
+					return fmt.Errorf("sim: wheel L%d bucket %d slot %d prev %d, want %d", lvl, b, cur, ref.prev, prev)
+				}
+				if got := int(int64(ref.at)>>w.gran) & wheelMask; got != b {
+					return fmt.Errorf("sim: wheel L%d bucket %d holds event for bucket %d (at=%v)", lvl, b, got, ref.at)
+				}
+				if d := int64(ref.at)>>w.gran - w.cur; d < 1 || d > wheelSize {
+					return fmt.Errorf("sim: wheel L%d bucket %d event at %v outside window (distance %d)", lvl, b, ref.at, d)
+				}
+				if pf := &s.fns[cur]; pf.fn == nil && pf.afn == nil {
+					return fmt.Errorf("sim: wheel slot %d has no callback", cur)
+				}
+				prev = cur
+				inWheel++
+			}
+		}
+	}
+	if inWheel != s.wheelCount {
+		return fmt.Errorf("sim: wheel lists hold %d events, wheelCount %d", inWheel, s.wheelCount)
+	}
+	inL1 := 0
+	for b := 0; b < len(s.head1); b++ {
+		for cur := s.head1[b]; cur != noIdx; cur = s.locs[cur].next {
+			inL1++
+		}
+	}
+	if inL1 != s.count1 {
+		return fmt.Errorf("sim: level-1 lists hold %d events, count1 %d", inL1, s.count1)
+	}
+	live += inWheel
+	for _, slot := range s.freeSlots {
+		ref := &s.locs[slot]
+		if ref.idx != -1 {
+			return fmt.Errorf("sim: free slot %d still points at location %d", slot, ref.idx)
+		}
+		if pf := &s.fns[slot]; pf.fn != nil || pf.afn != nil || pf.arg != nil {
+			return fmt.Errorf("sim: free slot %d retains a callback or argument", slot)
+		}
+	}
+	if live+len(s.freeSlots) != len(s.locs) {
+		return fmt.Errorf("sim: %d live + %d free != %d slots", live, len(s.freeSlots), len(s.locs))
+	}
+	return nil
 }
 
 // Timer is a cancellable, re-armable timer built on the scheduler. It is
