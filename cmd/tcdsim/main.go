@@ -32,6 +32,8 @@ import (
 	"github.com/tcdnet/tcd/internal/fabric"
 	"github.com/tcdnet/tcd/internal/fault"
 	"github.com/tcdnet/tcd/internal/obs"
+	"github.com/tcdnet/tcd/internal/routing"
+	"github.com/tcdnet/tcd/internal/topo"
 	"github.com/tcdnet/tcd/internal/units"
 )
 
@@ -46,6 +48,7 @@ type options struct {
 	series   string
 	voq      bool
 	runs     int
+	routeCap int
 	obs      obs.Config
 	faults   *fault.Spec
 }
@@ -260,6 +263,7 @@ func tuneFatTree(cfg *exp.FatTreeConfig, o options, fullK, fullFlows int) {
 	if o.flows > 0 {
 		cfg.MaxFlows = o.flows
 	}
+	cfg.RouteCap = o.routeCap
 	applyHorizon(&cfg.Horizon, o)
 }
 
@@ -281,6 +285,15 @@ func main() {
 		faults   = flag.String("faults", "", "JSON fault schedule injected into observation experiments (fig3/fig4/fig12/fig13)")
 		doSweep  = flag.Bool("sweep", false, "run the multi-seed sweep engine even for -runs 1")
 		parallel = flag.Int("parallel", 0, "sweep worker count (0 = GOMAXPROCS); runs stay deterministic per seed")
+		shard    = flag.String("shard", "", `run only shard i of an n-way sweep split, format "i/n" (0-based; pair with -sweep across processes)`)
+
+		topoStats = flag.Bool("topo-stats", false, "build only the topology and route table (no fabric, no workload), print size and memory figures, then exit")
+		topoKind  = flag.String("topo", "fattree", "-topo-stats topology: fattree (-k) or leafspine (-leaves/-spines/-hostsper)")
+		leaves    = flag.Int("leaves", 4, "leaf-spine leaf switch count (-topo-stats)")
+		spines    = flag.Int("spines", 4, "leaf-spine spine switch count (-topo-stats)")
+		hostsPer  = flag.Int("hostsper", 8, "leaf-spine hosts per leaf (-topo-stats)")
+		routes    = flag.String("routes", "lazy", "-topo-stats route table mode: lazy or eager")
+		routeCap  = flag.Int("route-cap", 0, "max resident lazily-materialized route columns (0 = default 512); applies to fat-tree experiments and -topo-stats")
 
 		traceOut     = flag.String("trace-out", "", "stream the structured event trace as JSONL to this file (spill-to-disk; observation experiments)")
 		traceGzip    = flag.Bool("trace-gzip", false, "gzip-compress the -trace-out stream")
@@ -302,6 +315,9 @@ func main() {
 	if *benchJSON != "" {
 		runBench(*benchJSON, *benchRev, *benchAgainst)
 		return
+	}
+	if *topoStats {
+		os.Exit(runTopoStats(*topoKind, *k, *leaves, *spines, *hostsPer, *routes, *routeCap))
 	}
 
 	rs := runners()
@@ -325,6 +341,7 @@ func main() {
 		series:   *series,
 		voq:      strings.EqualFold(*arch, "voq"),
 		runs:     *runs,
+		routeCap: *routeCap,
 	}
 	switch strings.ToLower(*fabric) {
 	case "cee":
@@ -406,9 +423,18 @@ func main() {
 		os.Exit(2)
 	}
 
+	shardIdx, shardTotal := 0, 1
+	if *shard != "" {
+		if n, err := fmt.Sscanf(*shard, "%d/%d", &shardIdx, &shardTotal); n != 2 || err != nil ||
+			shardTotal < 1 || shardIdx < 0 || shardIdx >= shardTotal {
+			fmt.Fprintf(os.Stderr, "bad -shard %q: want i/n with 0 <= i < n\n", *shard)
+			os.Exit(2)
+		}
+	}
+
 	start := time.Now()
-	if *doSweep || o.runs > 1 {
-		code := runSweep(chosen, o, *parallel, *progress, *jsonOut, *csvdir)
+	if *doSweep || o.runs > 1 || *shard != "" {
+		code := runSweep(chosen, o, *parallel, *progress, *jsonOut, *csvdir, shardIdx, shardTotal)
 		stopProfile()
 		fmt.Fprintf(os.Stderr, "(%s sweep, wall %v)\n", chosen.name, time.Since(start).Round(time.Millisecond))
 		os.Exit(code)
@@ -486,7 +512,7 @@ func main() {
 // statistics. Each run owns a private scheduler/RNG/recorder, so the
 // per-run results are byte-identical to the serial path regardless of
 // worker count. Returns the process exit code.
-func runSweep(chosen *runner, o options, workers int, progress bool, jsonOut, csvdir string) int {
+func runSweep(chosen *runner, o options, workers int, progress bool, jsonOut, csvdir string, shardIdx, shardTotal int) int {
 	if o.obs.Rec != nil || o.obs.Metrics != nil {
 		fmt.Fprintln(os.Stderr, "sweep: -trace-out/-metrics-out are single-run sinks and are ignored in sweep mode")
 	}
@@ -499,6 +525,14 @@ func runSweep(chosen *runner, o options, workers int, progress bool, jsonOut, cs
 		Fabrics: []exp.FabricKind{o.fabric},
 		Seeds:   sweep.Seq(o.seed, n),
 	}.Specs()
+	if shardTotal > 1 {
+		all := len(specs)
+		specs = sweep.Shard(specs, shardIdx, shardTotal)
+		fmt.Fprintf(os.Stderr, "sweep: shard %d/%d runs %d of %d specs\n", shardIdx, shardTotal, len(specs), all)
+		if len(specs) == 0 {
+			return 0
+		}
+	}
 	fn := func(sp sweep.Spec) []*exp.Result {
 		ro := o
 		ro.seed = sp.Seed
@@ -547,6 +581,84 @@ func runSweep(chosen *runner, o options, workers int, progress bool, jsonOut, cs
 		code = 1
 	}
 	return code
+}
+
+// runTopoStats is the hyperscale dry run: build the topology and the
+// route table — nothing else, no fabric.Network (whose per-port event
+// state would dominate memory at 100k hosts), no workload — and print
+// the numbers that decide whether a full run fits in memory. In lazy
+// mode a small sample of columns is materialized to measure the
+// per-column footprint; the eager estimate extrapolates what
+// BuildShortestPath would allocate for every destination at once.
+func runTopoStats(kind string, k, leaves, spines, hostsPer int, mode string, cap int) int {
+	rate, delay := 40*units.Gbps, 4*units.Microsecond
+	var (
+		t     *topo.Topology
+		src   routing.ColumnSource
+		label string
+	)
+	switch strings.ToLower(kind) {
+	case "fattree":
+		if k <= 0 {
+			k = 4
+		}
+		ft := topo.NewFatTree(k, rate, delay)
+		t, src = ft.Topology, routing.FatTreeColumns(ft)
+		label = fmt.Sprintf("fattree k=%d", k)
+	case "leafspine":
+		ls := topo.NewLeafSpine(leaves, spines, hostsPer, rate, delay)
+		t, src = ls.Topology, routing.LeafSpineColumns(ls)
+		label = fmt.Sprintf("leafspine %dx%d, %d hosts/leaf", leaves, spines, hostsPer)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -topo %q: want fattree or leafspine\n", kind)
+		return 2
+	}
+	hosts := t.Hosts()
+	fmt.Printf("topology   %s\n", label)
+	fmt.Printf("nodes      %d\n", len(t.Nodes))
+	fmt.Printf("links      %d\n", len(t.Links))
+	fmt.Printf("hosts      %d\n", len(hosts))
+
+	start := time.Now()
+	var tbl *routing.Table
+	switch strings.ToLower(mode) {
+	case "eager":
+		tbl = routing.BuildShortestPath(t)
+	case "lazy":
+		tbl = routing.NewLazy(t, src, cap)
+		// Touch a spread of destinations to measure the real per-column
+		// cost (structural fill, no BFS) without paying for a full
+		// working set.
+		sample := 32
+		if c := tbl.ColumnCap(); c < sample {
+			sample = c
+		}
+		if len(hosts) < sample {
+			sample = len(hosts)
+		}
+		from := t.Nodes[len(t.Nodes)-1].ID // a host NIC: longest rows
+		for i := 0; i < sample; i++ {
+			tbl.Choices(from, hosts[i*len(hosts)/sample])
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -routes %q: want lazy or eager\n", mode)
+		return 2
+	}
+	build := time.Since(start)
+
+	st := tbl.Stats()
+	liveB, eagerB := tbl.LiveBytes(), tbl.EagerBytesEstimate()
+	fmt.Printf("routes     %s (cap %d columns)\n", strings.ToLower(mode), tbl.ColumnCap())
+	fmt.Printf("build      %v\n", build.Round(time.Microsecond))
+	fmt.Printf("cols_live  %d (materialized %d, evicted %d, bfs_runs %d)\n",
+		tbl.LiveColumns(), st.Materialized, st.Evicted, st.BFSRuns)
+	fmt.Printf("table_mb   %.2f\n", float64(liveB)/(1<<20))
+	fmt.Printf("eager_mb   %.2f (estimated full materialization)\n", float64(eagerB)/(1<<20))
+	if liveB > 0 {
+		fmt.Printf("ratio      %.1fx\n", float64(eagerB)/float64(liveB))
+	}
+	fmt.Printf("peak_rss_mb %.1f\n", peakRSSMB())
+	return 0
 }
 
 // exportSweepCSV writes the long-format scalar table to dir/sweep.csv and

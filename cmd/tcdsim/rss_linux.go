@@ -1,0 +1,16 @@
+//go:build linux
+
+package main
+
+import "syscall"
+
+// peakRSSMB reports the process's high-water resident set size in MiB —
+// the honest memory figure for -topo-stats (heap stats miss the Go
+// runtime's own overhead and any non-heap mappings).
+func peakRSSMB() float64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return float64(ru.Maxrss) / 1024 // ru_maxrss is KiB on Linux
+}

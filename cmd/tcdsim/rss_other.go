@@ -1,0 +1,13 @@
+//go:build !linux
+
+package main
+
+import "runtime"
+
+// peakRSSMB approximates peak memory from the Go runtime's reserved
+// virtual memory on platforms without a getrusage high-water mark.
+func peakRSSMB() float64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return float64(ms.Sys) / (1 << 20)
+}

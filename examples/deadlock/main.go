@@ -71,7 +71,7 @@ func main() {
 	done := 0
 	for i, f := range flows {
 		fmt.Printf("flow h%d -> %s: done=%v delivered=%v\n",
-			i, g.Name(f.Dst), f.Done, f.BytesRxed)
+			i, g.Name(f.Dst), f.Done, f.BytesRxed())
 		if f.Done {
 			done++
 		}

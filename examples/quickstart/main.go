@@ -69,7 +69,7 @@ func main() {
 	for _, tr := range det.Transitions {
 		fmt.Printf("  %-10v %v -> %v\n", tr.At, tr.From, tr.To)
 	}
-	fmt.Printf("\nflow a: done=%v fct=%v ce=%d ue=%d\n", fa.Done, fa.FCT, fa.CEPackets, fa.UEPackets)
-	fmt.Printf("flow b: done=%v fct=%v ce=%d ue=%d\n", fb.Done, fb.FCT, fb.CEPackets, fb.UEPackets)
+	fmt.Printf("\nflow a: done=%v fct=%v ce=%d ue=%d\n", fa.Done, fa.FCT, fa.CEPackets(), fa.UEPackets())
+	fmt.Printf("flow b: done=%v fct=%v ce=%d ue=%d\n", fb.Done, fb.FCT, fb.CEPackets(), fb.UEPackets())
 	fmt.Printf("bottleneck marked: CE=%d UE=%d\n", bottleneck.MarkedCE, bottleneck.MarkedUE)
 }

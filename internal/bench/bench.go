@@ -17,9 +17,12 @@ import (
 
 	"github.com/tcdnet/tcd/internal/exp"
 	"github.com/tcdnet/tcd/internal/exp/sweep"
+	"github.com/tcdnet/tcd/internal/fabric"
 	"github.com/tcdnet/tcd/internal/obs"
 	"github.com/tcdnet/tcd/internal/rng"
+	"github.com/tcdnet/tcd/internal/routing"
 	"github.com/tcdnet/tcd/internal/sim"
+	"github.com/tcdnet/tcd/internal/topo"
 	"github.com/tcdnet/tcd/internal/units"
 )
 
@@ -245,6 +248,76 @@ func crossoverCase(name string, depth, iters int) Case {
 	return hy
 }
 
+// routeBuildCase times route-table construction on a fat-tree: the eager
+// reverse-BFS build of every destination column per iteration (the cost
+// hyperscale runs avoid), with the lazy structural table's footprint for
+// the same topology riding in the metrics map. EventsPerSec counts
+// columns built.
+func routeBuildCase(name string, k, iters int) Case {
+	ft := topo.NewFatTree(k, 40*units.Gbps, 4*units.Microsecond)
+	src := routing.FatTreeColumns(ft)
+	return measure(name, iters, func() (uint64, map[string]float64) {
+		eager := routing.BuildShortestPath(ft.Topology)
+		lazy := routing.NewLazy(ft.Topology, src, 64)
+		for _, h := range ft.HostList {
+			lazy.Choices(ft.HostList[0], h)
+		}
+		return uint64(eager.NumHosts()), map[string]float64{
+			"hosts":         float64(eager.NumHosts()),
+			"eager_mb":      float64(eager.LiveBytes()) / (1 << 20),
+			"lazy_live_mb":  float64(lazy.LiveBytes()) / (1 << 20),
+			"lazy_bfs_runs": float64(lazy.Stats().BFSRuns),
+		}
+	})
+}
+
+// closedGate refuses every transmission — the bench stand-in for a
+// permanently paused PFC gate.
+type closedGate struct{}
+
+func (closedGate) CanSend(uint8, units.ByteSize) bool      { return false }
+func (closedGate) OnSend(uint8, units.ByteSize)            {}
+func (closedGate) HandleCtrl(units.Time, fabric.CtrlFrame) {}
+
+// soaScanCase times the struct-of-arrays fabric sweeps — WaitCycles,
+// Stranded, QueuedPayload — on a ring frozen into the classic circular
+// buffer dependency: every clockwise egress holds a packet destined two
+// switches ahead behind a closed gate, so the pause-wait graph is one
+// n-cycle and every sweep walks the flat qbytes/blocked arrays end to
+// end. EventsPerSec counts sweep passes.
+func soaScanCase(name string, nSwitch, iters int) Case {
+	ring := topo.NewRing(nSwitch, 40*units.Gbps, 4*units.Microsecond)
+	net := fabric.New(sim.New(), ring.Topology, fabric.DefaultConfig())
+	routing.BuildShortestPath(ring.Topology).Attach(net, routing.FirstPath())
+	for _, p := range net.Ports() {
+		p.AttachGate(closedGate{})
+	}
+	for i := 0; i < nSwitch; i++ {
+		pkt := net.NewPacket()
+		pkt.Dst = ring.Hosts[(i+2)%nSwitch]
+		pkt.Size = units.KB
+		pkt.Payload = units.KB
+		net.PortToward(ring.Sw[i], ring.Sw[(i+1)%nSwitch]).Enqueue(pkt)
+	}
+	return measure(name, iters, func() (uint64, map[string]float64) {
+		const sweeps = 200
+		var cycles, stranded int
+		var queued units.ByteSize
+		for s := 0; s < sweeps; s++ {
+			cycles = len(net.WaitCycles())
+			rep := net.Stranded()
+			stranded = len(rep.Ports)
+			queued = net.QueuedPayload()
+		}
+		return sweeps, map[string]float64{
+			"switches":       float64(nSwitch),
+			"wait_cycles":    float64(cycles),
+			"stranded_ports": float64(stranded),
+			"queued_kb":      float64(queued) / float64(units.KB),
+		}
+	})
+}
+
 // Regression is one guard violation found by Compare.
 type Regression struct {
 	Case   string  `json:"case"`
@@ -264,7 +337,10 @@ func (r Regression) String() string {
 // recorder disabled, plus the telemetry-enabled variant so the streaming
 // collector's overhead cannot silently creep. Compare skips cases the
 // prior report lacks, so older reports keep guarding what they have.
-var GuardCases = []string{"observe-cee-baseline", "observe-ib-baseline", "observe-cee-telemetry"}
+var GuardCases = []string{
+	"observe-cee-baseline", "observe-ib-baseline", "observe-cee-telemetry",
+	"route-build-k16", "soa-scan",
+}
 
 // Compare checks cur against prev for the guard cases and returns the
 // ns/op and allocs/op regressions exceeding tol (0.15 = fail above
@@ -336,6 +412,8 @@ func Run(cfg Config) *Report {
 		crossoverCase("sched-crossover-1k", 1<<10, cfg.Iters),
 		crossoverCase("sched-crossover-16k", 1<<14, cfg.Iters),
 		crossoverCase("sched-crossover-256k", 1<<18, cfg.Iters),
+		routeBuildCase("route-build-k16", 16, cfg.Iters),
+		soaScanCase("soa-scan", 256, cfg.Iters),
 	)
 	r.Sweep = speedupSweep(cfg)
 	return r

@@ -27,6 +27,7 @@ func TestRunProducesReport(t *testing.T) {
 		"sched-depth-1k", "sched-depth-16k", "sched-depth-256k",
 		"sched-wheel-1k", "sched-wheel-16k", "sched-wheel-256k",
 		"sched-crossover-1k", "sched-crossover-16k", "sched-crossover-256k",
+		"route-build-k16", "soa-scan",
 	}
 	if len(r.Cases) != len(wantCases) {
 		t.Fatalf("got %d cases, want %d", len(r.Cases), len(wantCases))

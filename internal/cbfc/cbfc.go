@@ -202,24 +202,34 @@ func (m *Meter) sendUpdate() {
 // link initialization in the spec.
 func Install(n *fabric.Network, cfg Config) {
 	nPrio := n.Config().Priorities
-	i := 0
-	for _, p := range n.Ports() {
+	ports := n.Ports()
+	// One backing array per field, subsliced per gate/meter, so the whole
+	// fabric's credit state is contiguous — the credit-stall detector's
+	// attribution pass and invariant sweeps walk arrays, not a heap
+	// object per port.
+	np := len(ports) * nPrio
+	fctbs, fccl := make([]int64, np), make([]int64, np)
+	starved, since := make([]bool, np), make([]units.Time, np)
+	abr, reported := make([]int64, np), make([]int64, np)
+	occ := make([]units.ByteSize, np)
+	for i := range fccl {
+		fccl[i] = int64(cfg.Buffer)
+		since[i] = units.Forever
+	}
+	for i, p := range ports {
+		lo, hi := i*nPrio, (i+1)*nPrio
 		g := &Gate{
 			port:  p,
-			fctbs: make([]int64, nPrio), fccl: make([]int64, nPrio),
-			starved: make([]bool, nPrio), starvedSince: make([]units.Time, nPrio),
-		}
-		for vl := range g.fccl {
-			g.fccl[vl] = int64(cfg.Buffer)
-			g.starvedSince[vl] = units.Forever
+			fctbs: fctbs[lo:hi], fccl: fccl[lo:hi],
+			starved: starved[lo:hi], starvedSince: since[lo:hi],
 		}
 		p.AttachGate(g)
 		m := &Meter{
 			port:     p,
 			cfg:      cfg,
-			abr:      make([]int64, nPrio),
-			occ:      make([]units.ByteSize, nPrio),
-			reported: make([]int64, nPrio),
+			abr:      abr[lo:hi],
+			occ:      occ[lo:hi],
+			reported: reported[lo:hi],
 		}
 		m.timer = sim.NewTimer(n.Sched, m.sendUpdate)
 		p.AttachMeter(m)
@@ -228,7 +238,6 @@ func Install(n *fabric.Network, cfg Config) {
 			phase = cfg.Stagger(i)
 		}
 		m.timer.Arm(cfg.Tc + phase)
-		i++
 	}
 }
 

@@ -64,8 +64,8 @@ func TestIncastIsLosslessUnderCBFC(t *testing.T) {
 	}
 	s.Run()
 	for _, f := range flows {
-		if !f.Done || f.BytesRxed != 200*units.KB {
-			t.Fatalf("flow %d incomplete: done=%v bytes=%v", f.ID, f.Done, f.BytesRxed)
+		if !f.Done || f.BytesRxed() != 200*units.KB {
+			t.Fatalf("flow %d incomplete: done=%v bytes=%v", f.ID, f.Done, f.BytesRxed())
 		}
 	}
 	for _, mt := range cbfc.Meters(n) {

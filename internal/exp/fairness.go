@@ -113,7 +113,7 @@ func Fairness(cfg FairnessConfig) *Result {
 	// UE marks on B flows during the burst era (held, not cut).
 	ue := 0
 	for _, f := range bFlows {
-		ue += f.UEPackets
+		ue += f.UEPackets()
 	}
 	res.Scalars["b_ue_packets"] = float64(ue)
 	return res

@@ -39,6 +39,12 @@ type FatTreeConfig struct {
 	// flows can complete.
 	Horizon units.Time
 	Seed    uint64
+	// RouteCap bounds resident lazily-materialized route columns
+	// (0 = routing.DefaultColumnCap). Fat-tree rigs always route from a
+	// lazily materialized table fed by the structural column source —
+	// route decisions are byte-identical to the eager table, only the
+	// memory ceiling moves.
+	RouteCap int
 	// Obs wires event tracing, metrics and progress reporting into the
 	// rig (all off by default).
 	Obs obs.Config
@@ -95,13 +101,15 @@ func FatTree(cfg FatTreeConfig) *FatTreeOutcome {
 	hostCfg := host.DefaultConfig()
 	hostCfg.AckEveryPacket = cfg.CC.NeedsAcks()
 	rig := NewRig(RigConfig{
-		Topo:     ft.Topology,
-		Kind:     cfg.Kind,
-		Det:      cfg.Det,
-		Seed:     cfg.Seed,
-		HostCfg:  hostCfg,
-		Selector: sel,
-		Obs:      cfg.Obs,
+		Topo:      ft.Topology,
+		Kind:      cfg.Kind,
+		Det:       cfg.Det,
+		Seed:      cfg.Seed,
+		HostCfg:   hostCfg,
+		Selector:  sel,
+		Obs:       cfg.Obs,
+		RouteCols: routing.FatTreeColumns(ft),
+		RouteCap:  cfg.RouteCap,
 	})
 	res := NewResult(fmt.Sprintf("fattree-k%d-%s-%s-%s-%s", cfg.K, cfg.Kind, cfg.Det, cfg.CC, cfg.Workload))
 
@@ -171,6 +179,14 @@ func FatTree(cfg FatTreeConfig) *FatTreeOutcome {
 	res.Scalars["slowdown_p95"] = out.Overall.P(0.95)
 	res.Scalars["slowdown_p99"] = out.Overall.P(0.99)
 	res.Scalars["mean_mct_us"] = out.MeanMCTus
+	// Route-table memory: what the lazy table actually held versus what
+	// eager materialization would have cost (cmd/tcdsim -topo-stats
+	// surfaces the same numbers without running a workload).
+	res.Scalars["route_cols_live"] = float64(rig.Routes.LiveColumns())
+	res.Scalars["route_cols_materialized"] = float64(rig.Routes.Stats().Materialized)
+	res.Scalars["route_cols_evicted"] = float64(rig.Routes.Stats().Evicted)
+	res.Scalars["route_table_bytes"] = float64(rig.Routes.LiveBytes())
+	res.Scalars["route_table_eager_est_bytes"] = float64(rig.Routes.EagerBytesEstimate())
 	res.Tables = append(res.Tables, out.Slowdowns.Table("FCT slowdown by size"))
 	res.AttachTelemetry(cfg.Obs.Telemetry)
 	return out
@@ -245,6 +261,12 @@ func FatTreeComparison(base FatTreeConfig, stockCC, tcdCC CCKind) (*Result, *Fat
 	}
 	if t.MeanMCTus > 0 {
 		res.Scalars["mct_improvement"] = s.MeanMCTus / t.MeanMCTus
+	}
+	// Surface the lazy route-table footprint on the comparison result too:
+	// cmd/tcdsim discards the per-side results, and at hyperscale (k=32+)
+	// the table memory is part of what the run demonstrates.
+	for _, key := range []string{"route_cols_live", "route_table_bytes", "route_table_eager_est_bytes"} {
+		res.Scalars[key] = t.Res.Scalars[key]
 	}
 	res.Tables = append(res.Tables,
 		s.Slowdowns.Table("stock slowdown"),

@@ -145,13 +145,13 @@ func VictimUnderFlap(cfg VictimFlapConfig) *Result {
 	rig.Run(cfg.Horizon)
 
 	for label, f := range map[string]*host.Flow{"f0": f0, "f1": f1, "f2": f2} {
-		res.Scalars[label+"_pkts"] = float64(f.PktsRxed)
-		res.Scalars[label+"_ce"] = float64(f.CEPackets)
-		res.Scalars[label+"_ue"] = float64(f.UEPackets)
+		res.Scalars[label+"_pkts"] = float64(f.PktsRxed())
+		res.Scalars[label+"_ce"] = float64(f.CEPackets())
+		res.Scalars[label+"_ue"] = float64(f.UEPackets())
 		res.Scalars[label+"_ce_frac"] = MarkedFraction(f, true)
 		res.Scalars[label+"_ue_frac"] = MarkedFraction(f, false)
 	}
-	res.Scalars["f1_goodput_gbps"] = float64(units.RateOf(f1.BytesRxed, cfg.Horizon)) / 1e9
+	res.Scalars["f1_goodput_gbps"] = float64(units.RateOf(f1.BytesRxed(), cfg.Horizon)) / 1e9
 	res.Scalars["fault_actions_armed"] = float64(inj.Armed)
 	res.Scalars["fault_drops"] = float64(rig.Net.FaultDrops)
 	res.Scalars["fault_dropped_kb"] = float64(rig.Net.FaultDropPayload()) / 1000

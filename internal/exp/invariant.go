@@ -41,11 +41,11 @@ func CheckInvariants(r *Rig) error {
 	var errs []string
 	fail := func(format string, args ...any) { errs = append(errs, fmt.Sprintf(format, args...)) }
 
-	var injected, delivered units.ByteSize
+	var injected units.ByteSize
 	for _, f := range r.Mgr.Flows() {
 		injected += f.BytesSent()
-		delivered += f.BytesRxed
 	}
+	delivered := r.Mgr.TotalRxed()
 	dropped := r.Net.FaultDropPayload()
 	inFlight := r.Net.InFlightPayload()
 	queued := r.Net.QueuedPayload()

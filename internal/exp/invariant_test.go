@@ -58,11 +58,11 @@ func TestInvariantCheckerCatchesLeaks(t *testing.T) {
 		t.Fatalf("clean run should satisfy invariants: %v", err)
 	}
 	// Forge a receiver-side leak: a kilobyte delivered out of thin air.
-	f.BytesRxed += units.KB
+	rig.Mgr.AdjustRx(f, units.KB)
 	if err := CheckInvariants(rig.Rig); err == nil {
 		t.Fatal("conservation check did not notice a forged 1 KB surplus")
 	}
-	f.BytesRxed -= units.KB
+	rig.Mgr.AdjustRx(f, -units.KB)
 	if err := CheckInvariants(rig.Rig); err != nil {
 		t.Fatalf("invariants should hold again after undoing the forgery: %v", err)
 	}

@@ -111,13 +111,13 @@ func MultiPrio(cfg MultiPrioConfig) *Result {
 
 	s.RunUntil(cfg.Horizon)
 
-	res.Scalars["victim_ue"] = float64(lowVictim.UEPackets)
-	res.Scalars["victim_ce"] = float64(lowVictim.CEPackets)
+	res.Scalars["victim_ue"] = float64(lowVictim.UEPackets())
+	res.Scalars["victim_ce"] = float64(lowVictim.CEPackets())
 	res.Scalars["low_prio_pause_us"] = sharedPort.PauseTime.Micros()
 	res.Scalars["final_state"] = float64(det.State())
 	res.Scalars["time_undetermined_us"] = det.TimeIn(core.Undetermined).Micros()
 	res.Scalars["time_congestion_us"] = det.TimeIn(core.Congestion).Micros()
-	res.Scalars["hi_pkts"] = float64(hiFlow.PktsRxed)
+	res.Scalars["hi_pkts"] = float64(hiFlow.PktsRxed())
 	for _, tr := range det.Transitions {
 		res.AddNote("shared port prio1 %v: %v -> %v", tr.At, tr.From, tr.To)
 	}

@@ -145,9 +145,9 @@ func observeWithArch(cfg ObserveConfig, arch fabric.Arch) *Result {
 
 	// Flow-level marking observations.
 	for label, f := range map[string]*host.Flow{"f0": f0, "f1": f1, "f2": f2} {
-		res.Scalars[label+"_pkts"] = float64(f.PktsRxed)
-		res.Scalars[label+"_ce"] = float64(f.CEPackets)
-		res.Scalars[label+"_ue"] = float64(f.UEPackets)
+		res.Scalars[label+"_pkts"] = float64(f.PktsRxed())
+		res.Scalars[label+"_ce"] = float64(f.CEPackets())
+		res.Scalars[label+"_ue"] = float64(f.UEPackets())
 		res.Scalars[label+"_ce_frac"] = MarkedFraction(f, true)
 	}
 	var burstEnd units.Time

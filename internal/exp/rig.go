@@ -200,6 +200,17 @@ type RigConfig struct {
 	CtrlJitter func() units.Time
 	// RecordTransitions turns on TCD transition logging (small rigs).
 	RecordTransitions bool
+	// RouteCols, when non-nil, switches the rig to a lazily materialized
+	// route table fed by this structural column source (fat-tree and
+	// leaf–spine builders provide one), bounded by RouteCap columns.
+	// Route decisions are byte-identical to the eager table (property-
+	// tested), so traces do not depend on this knob — only memory does.
+	RouteCols routing.ColumnSource
+	// LazyRoutes selects lazy materialization with the BFS fallback even
+	// without a structural source.
+	LazyRoutes bool
+	// RouteCap bounds resident route columns in lazy mode (0 = default).
+	RouteCap int
 	// Obs threads the observability hooks (event recorder, metrics
 	// registry, progress ticker) through every layer of the rig.
 	Obs obs.Config
@@ -232,7 +243,11 @@ func NewRig(cfg RigConfig) *Rig {
 	fc.Arch = cfg.Arch
 	fc.Rec = cfg.Obs.Rec
 	r.Net = fabric.New(r.Sched, cfg.Topo, fc)
-	r.Routes = routing.BuildShortestPath(cfg.Topo)
+	if cfg.RouteCols != nil || cfg.LazyRoutes {
+		r.Routes = routing.NewLazy(cfg.Topo, cfg.RouteCols, cfg.RouteCap)
+	} else {
+		r.Routes = routing.BuildShortestPath(cfg.Topo)
+	}
 	r.Routes.Attach(r.Net, cfg.Selector)
 
 	switch cfg.Kind {
@@ -491,9 +506,9 @@ func (r *Rig) SnapshotMetrics(reg *obs.Registry) {
 	}
 	for _, f := range r.Mgr.Flows() {
 		flow := fmt.Sprintf("%d", f.ID)
-		reg.Counter("flow_rx_bytes", "flow", flow).Add(int64(f.BytesRxed))
-		reg.Counter("flow_ce_packets", "flow", flow).Add(int64(f.CEPackets))
-		reg.Counter("flow_ue_packets", "flow", flow).Add(int64(f.UEPackets))
+		reg.Counter("flow_rx_bytes", "flow", flow).Add(int64(f.BytesRxed()))
+		reg.Counter("flow_ce_packets", "flow", flow).Add(int64(f.CEPackets()))
+		reg.Counter("flow_ue_packets", "flow", flow).Add(int64(f.UEPackets()))
 		if f.Done {
 			reg.Gauge("flow_fct_us", "flow", flow).Set(f.FCT.Micros())
 		}
@@ -568,7 +583,7 @@ func (fr *Fig2Rig) LaunchBursts(start units.Time, size units.ByteSize, rounds in
 func FlowRateProbe(f *host.Flow, interval units.Time) func() float64 {
 	var last units.ByteSize
 	return func() float64 {
-		cur := f.BytesRxed
+		cur := f.BytesRxed()
 		delta := cur - last
 		last = cur
 		return float64(units.RateOf(delta, interval))
@@ -589,11 +604,11 @@ func PortLabel(i int) string { return portLabels[i] }
 // MarkedFraction reports the fraction of a flow's received packets
 // carrying the given mark.
 func MarkedFraction(f *host.Flow, ce bool) float64 {
-	if f.PktsRxed == 0 {
+	if f.PktsRxed() == 0 {
 		return 0
 	}
 	if ce {
-		return float64(f.CEPackets) / float64(f.PktsRxed)
+		return float64(f.CEPackets()) / float64(f.PktsRxed())
 	}
-	return float64(f.UEPackets) / float64(f.PktsRxed)
+	return float64(f.UEPackets()) / float64(f.PktsRxed())
 }

@@ -145,11 +145,11 @@ func TestJainIndex(t *testing.T) {
 }
 
 func TestMarkedFraction(t *testing.T) {
-	f := &host.Flow{PktsRxed: 10, CEPackets: 3, UEPackets: 5}
+	f := host.StandaloneFlow(10, 3, 5)
 	if MarkedFraction(f, true) != 0.3 || MarkedFraction(f, false) != 0.5 {
 		t.Error("marked fractions wrong")
 	}
-	if MarkedFraction(&host.Flow{}, true) != 0 {
+	if MarkedFraction(host.StandaloneFlow(0, 0, 0), true) != 0 {
 		t.Error("empty flow fraction not 0")
 	}
 }

@@ -115,6 +115,31 @@ func (g Grid) Specs() []Spec {
 	return specs
 }
 
+// Shard partitions a spec list for multi-process sweeps: it returns the
+// specs assigned to shard index of total, taking every total-th spec
+// starting at index (round-robin, so seed-repetition axes spread evenly
+// across shards instead of one shard getting every seed of one
+// scenario). Sharding is deterministic: the union of all shards of the
+// same spec list is exactly the list, with no overlap, so a sharded
+// sweep reproduces the single-process sweep run-for-run. Each shard
+// process builds its own rigs — and with lazy route tables each shard
+// materializes only the route columns its own runs touch, which is what
+// keeps hyperscale grids (fat-tree k=32 and beyond) within per-worker
+// memory budgets.
+func Shard(specs []Spec, index, total int) []Spec {
+	if total <= 1 {
+		return specs
+	}
+	if index < 0 || index >= total {
+		return nil
+	}
+	out := make([]Spec, 0, (len(specs)+total-1-index)/total)
+	for i := index; i < len(specs); i += total {
+		out = append(out, specs[i])
+	}
+	return out
+}
+
 // RunFunc executes one spec and returns its results. It is called from
 // worker goroutines and must not share mutable state across calls: build
 // a fresh rig (scheduler, RNG, recorder) per invocation.

@@ -86,6 +86,42 @@ func TestGridSpecsOrderAndDefaults(t *testing.T) {
 	}
 }
 
+// TestShardPartitionsExactly pins the multi-process contract: shards are
+// disjoint, their union (in round-robin order) is the original list, and
+// degenerate parameters behave sanely.
+func TestShardPartitionsExactly(t *testing.T) {
+	specs := Grid{Exps: []string{"a", "b", "c"}, Seeds: Seq(1, 4)}.Specs()
+	for _, total := range []int{1, 2, 3, 5, len(specs), len(specs) + 3} {
+		seen := make(map[Spec]int)
+		for idx := 0; idx < total; idx++ {
+			shard := Shard(specs, idx, total)
+			for i, s := range shard {
+				if want := specs[idx+i*total]; s != want {
+					t.Fatalf("total=%d shard %d[%d] = %+v, want %+v", total, idx, i, s, want)
+				}
+				seen[s]++
+			}
+		}
+		if len(seen) != len(specs) {
+			t.Fatalf("total=%d: union covers %d specs, want %d", total, len(seen), len(specs))
+		}
+		for s, n := range seen {
+			if n != 1 {
+				t.Fatalf("total=%d: spec %+v assigned to %d shards", total, s, n)
+			}
+		}
+	}
+	if got := Shard(specs, -1, 4); got != nil {
+		t.Errorf("Shard(index=-1) = %v, want nil", got)
+	}
+	if got := Shard(specs, 4, 4); got != nil {
+		t.Errorf("Shard(index=total) = %v, want nil", got)
+	}
+	if got := Shard(specs, 0, 0); len(got) != len(specs) {
+		t.Errorf("Shard(total=0) dropped specs: %d of %d", len(got), len(specs))
+	}
+}
+
 func TestPanicCapture(t *testing.T) {
 	specs := Grid{Exps: []string{"x"}, Seeds: Seq(0, 4)}.Specs()
 	fn := func(s Spec) []*exp.Result {

@@ -130,9 +130,9 @@ func Testbed(cfg TestbedConfig) *Result {
 func binFraction(f *host.Flow, ce bool) func() float64 {
 	lastPkts, lastMarks := 0, 0
 	return func() float64 {
-		pkts, marks := f.PktsRxed, f.UEPackets
+		pkts, marks := f.PktsRxed(), f.UEPackets()
 		if ce {
-			marks = f.CEPackets
+			marks = f.CEPackets()
 		}
 		dp, dm := pkts-lastPkts, marks-lastMarks
 		lastPkts, lastMarks = pkts, marks

@@ -197,15 +197,15 @@ func Victim(cfg VictimConfig) *VictimOutcome {
 	out := &VictimOutcome{Res: res, Rig: rig, Breakdown: stats.NewBreakdown(10*units.KB, 100*units.KB, units.MB)}
 	var fcts []float64
 	for _, f := range victims {
-		if f.PktsRxed == 0 {
+		if f.PktsRxed() == 0 {
 			continue
 		}
 		out.Victims++
-		if f.CEPackets > 0 {
+		if f.CEPackets() > 0 {
 			out.MarkedCE++
-			out.VictimCEPackets += f.CEPackets
+			out.VictimCEPackets += f.CEPackets()
 		}
-		if f.UEPackets > 0 {
+		if f.UEPackets() > 0 {
 			out.MarkedUE++
 		}
 		// Unfinished victims are right-censored at the horizon: dropping
@@ -319,7 +319,7 @@ func Fig14(kind FabricKind, horizon units.Time, seed uint64) (*Result, []Fig14Po
 			f0 := rig.Mgr.AddFlow(rig.F2.S0, rig.F2.R0, big, 100*units.Microsecond, host.FixedRate(7*units.Gbps))
 			f2 := rig.Mgr.AddFlow(rig.F2.S2, rig.F2.R0, big, 100*units.Microsecond, host.FixedRate(7*units.Gbps))
 			rig.Run(horizon)
-			ce += f0.CEPackets + f2.CEPackets
+			ce += f0.CEPackets() + f2.CEPackets()
 		}
 		pts = append(pts, Fig14Point{Eps: eps, VictimCEPackets: ce})
 		res.Scalars[fmt.Sprintf("eps=%.2f victim CE pkts", eps)] = float64(ce)

@@ -205,21 +205,26 @@ type Port struct {
 	Rate  units.Rate
 	Delay units.Time
 
+	// idx is this port's index in Network.ports; pb = idx*Priorities is
+	// its base into the per-(port,priority) struct-of-arrays state the
+	// Network owns (qbytes, blocked). The per-event scalar state the
+	// transmit/forward/scan paths touch — queue bytes, busy/busyEnd,
+	// blocked, wakeAt — lives in those flat arrays, not here, so fabric-
+	// wide scans (Stranded, WaitCycles, invariants) are linear sweeps
+	// over contiguous memory instead of pointer chases through every
+	// Port.
+	idx int32
+	pb  int32
+
 	// Egress. In OutputQueued mode queues[prio] is the FIFO; in
 	// InputQueuedVoQ mode voqs[prio][inputPort] are the virtual output
-	// queues and rr[prio] the round-robin arbitration pointer. qbytes
-	// aggregates either way.
-	queues  []fifo
-	voqs    [][]fifo
-	rr      []int
-	qbytes  []units.ByteSize
-	busy    bool
-	busyEnd units.Time
-	gate    TxGate
-	dets    []Detector
-	blocked []bool
-	src     Source
-	wakeAt  units.Time
+	// queues and rr[prio] the round-robin arbitration pointer.
+	queues []fifo
+	voqs   [][]fifo
+	rr     []int
+	gate   TxGate
+	dets   []Detector
+	src    Source
 
 	// Per-port scratch, preallocated at creation so the transmit hot path
 	// schedules no fresh closures: txPkt is the packet currently being
@@ -293,22 +298,24 @@ func (p *Port) Recorder() obs.Recorder { return p.net.cfg.Rec }
 func (p *Port) Now() units.Time { return p.net.Sched.Now() }
 
 // QueueBytes reports the egress queue length of one priority in bytes.
-func (p *Port) QueueBytes(prio uint8) units.ByteSize { return p.qbytes[prio] }
+func (p *Port) QueueBytes(prio uint8) units.ByteSize {
+	return p.net.qbytes[int(p.pb)+int(prio)]
+}
 
 // TotalQueueBytes reports the egress queue length across priorities.
 func (p *Port) TotalQueueBytes() units.ByteSize {
 	var t units.ByteSize
-	for _, b := range p.qbytes {
+	for _, b := range p.net.qbytes[p.pb : int(p.pb)+p.net.nPrio] {
 		t += b
 	}
 	return t
 }
 
 // Blocked reports whether the priority is currently OFF (gate-refused).
-func (p *Port) Blocked(prio uint8) bool { return p.blocked[prio] }
+func (p *Port) Blocked(prio uint8) bool { return p.net.blocked[int(p.pb)+int(prio)] }
 
 // Busy reports whether the port is currently serializing a packet.
-func (p *Port) Busy() bool { return p.busy }
+func (p *Port) Busy() bool { return p.net.busy[p.idx] }
 
 // AttachGate installs the egress flow-control gate.
 func (p *Port) AttachGate(g TxGate) { p.gate = g }
@@ -355,8 +362,8 @@ func (p *Port) SendCtrl(f CtrlFrame) {
 		faultDelay = delay
 	}
 	wait := units.Time(0)
-	if p.busy && p.busyEnd > now {
-		wait = p.busyEnd - now
+	if p.net.busy[p.idx] && p.net.busyEnd[p.idx] > now {
+		wait = p.net.busyEnd[p.idx] - now
 	}
 	d := wait + units.TxTime(ctrlFrameBytes, p.Rate) + p.Delay + faultDelay
 	if p.net.cfg.CtrlJitter != nil {
@@ -416,14 +423,14 @@ func (n *Network) deliverCtrl(ci *ctrlInflight) {
 // more permissive (RESUME received, credits arrived). It re-evaluates
 // blocked bookkeeping and restarts transmission if possible.
 func (p *Port) GateChanged() {
-	if !p.busy {
+	if !p.net.busy[p.idx] {
 		p.tryTransmit()
 	}
 }
 
 // Kick wakes the port to re-poll its source (new flow became active).
 func (p *Port) Kick() {
-	if !p.busy {
+	if !p.net.busy[p.idx] {
 		p.tryTransmit()
 	}
 }
@@ -431,17 +438,18 @@ func (p *Port) Kick() {
 // Enqueue places a packet on the egress queue (switch forwarding path).
 func (p *Port) Enqueue(pkt *packet.Packet) {
 	prio := pkt.Priority
+	qb := &p.net.qbytes[int(p.pb)+int(prio)]
 	if d, ok := p.dets[prio].(EnqueueDetector); ok {
 		before := pkt.Code
-		d.OnEnqueue(p.net.Sched.Now(), pkt, p.qbytes[prio])
+		d.OnEnqueue(p.net.Sched.Now(), pkt, *qb)
 		if pkt.Code != before {
 			switch pkt.Code {
 			case packet.CE:
 				p.MarkedCE++
-				p.recordMark(obs.KindMarkCE, pkt, p.qbytes[prio])
+				p.recordMark(obs.KindMarkCE, pkt, *qb)
 			case packet.UE:
 				p.MarkedUE++
-				p.recordMark(obs.KindMarkUE, pkt, p.qbytes[prio])
+				p.recordMark(obs.KindMarkUE, pkt, *qb)
 			}
 		}
 	}
@@ -450,8 +458,8 @@ func (p *Port) Enqueue(pkt *packet.Packet) {
 	} else {
 		p.queues[prio].push(pkt)
 	}
-	p.qbytes[prio] += pkt.Size
-	if !p.busy {
+	*qb += pkt.Size
+	if !p.net.busy[p.idx] {
 		p.tryTransmit()
 	}
 }
@@ -507,11 +515,11 @@ func (p *Port) recordMark(kind obs.Kind, pkt *packet.Packet, qlen units.ByteSize
 }
 
 func (p *Port) setBlocked(prio uint8, b bool) {
-	if p.blocked[prio] == b {
+	if p.net.blocked[int(p.pb)+int(prio)] == b {
 		return
 	}
 	now := p.net.Sched.Now()
-	p.blocked[prio] = b
+	p.net.blocked[int(p.pb)+int(prio)] = b
 	if b {
 		p.blockStart = now
 	} else {
@@ -522,7 +530,7 @@ func (p *Port) setBlocked(prio uint8, b bool) {
 		if b {
 			kind = obs.KindOffStart
 		}
-		rec.Record(obs.Event{At: now, Kind: kind, Port: p.Label(), Prio: prio, Flow: -1, Val: int64(p.qbytes[prio])})
+		rec.Record(obs.Event{At: now, Kind: kind, Port: p.Label(), Prio: prio, Flow: -1, Val: int64(p.net.qbytes[int(p.pb)+int(prio)])})
 	}
 	if d := p.dets[prio]; d != nil {
 		if b {
@@ -536,7 +544,7 @@ func (p *Port) setBlocked(prio uint8, b bool) {
 // tryTransmit starts the next transmission if the port is idle. Strict
 // priority across queues (lowest index first), then the pull source.
 func (p *Port) tryTransmit() {
-	if p.busy || p.down || p.frozen {
+	if p.net.busy[p.idx] || p.down || p.frozen {
 		return
 	}
 	now := p.net.Sched.Now()
@@ -557,7 +565,7 @@ func (p *Port) tryTransmit() {
 		}
 		p.setBlocked(uint8(prio), false)
 		q.pop()
-		p.qbytes[prio] -= head.Size
+		p.net.qbytes[int(p.pb)+prio] -= head.Size
 		p.transmit(head, true)
 		return
 	}
@@ -586,10 +594,10 @@ func (p *Port) tryTransmit() {
 }
 
 func (p *Port) scheduleWake(at units.Time) {
-	if p.wakeAt == at {
+	if p.net.wakeAt[p.idx] == at {
 		return
 	}
-	p.wakeAt = at
+	p.net.wakeAt[p.idx] = at
 	p.net.Sched.At(at, p.wakeFn)
 }
 
@@ -597,11 +605,11 @@ func (p *Port) scheduleWake(at units.Time) {
 // later scheduleWake or already consumed — unless it fires exactly at the
 // currently armed time.
 func (p *Port) wake() {
-	if p.wakeAt != p.net.Sched.Now() {
+	if p.net.wakeAt[p.idx] != p.net.Sched.Now() {
 		return
 	}
-	p.wakeAt = 0
-	if !p.busy {
+	p.net.wakeAt[p.idx] = 0
+	if !p.net.busy[p.idx] {
 		p.tryTransmit()
 	}
 }
@@ -614,15 +622,16 @@ func (p *Port) transmit(pkt *packet.Packet, fromQueue bool) {
 	if fromQueue && p.node.kind == topo.Switch {
 		if d := p.dets[pkt.Priority]; d != nil {
 			before := pkt.Code
-			d.OnDequeue(now, pkt, p.qbytes[pkt.Priority])
+			qb := p.net.qbytes[int(p.pb)+int(pkt.Priority)]
+			d.OnDequeue(now, pkt, qb)
 			if pkt.Code != before {
 				switch pkt.Code {
 				case packet.CE:
 					p.MarkedCE++
-					p.recordMark(obs.KindMarkCE, pkt, p.qbytes[pkt.Priority])
+					p.recordMark(obs.KindMarkCE, pkt, qb)
 				case packet.UE:
 					p.MarkedUE++
-					p.recordMark(obs.KindMarkUE, pkt, p.qbytes[pkt.Priority])
+					p.recordMark(obs.KindMarkUE, pkt, qb)
 				}
 			}
 		}
@@ -631,15 +640,16 @@ func (p *Port) transmit(pkt *packet.Packet, fromQueue bool) {
 		p.gate.OnSend(pkt.Priority, pkt.Size)
 	}
 	tx := units.TxTime(pkt.Size, p.Rate)
-	p.busy = true
-	p.busyEnd = now + tx
+	end := now + tx
+	p.net.busy[p.idx] = true
+	p.net.busyEnd[p.idx] = end
 	p.TxBytes += pkt.Size
 	p.TxPackets++
 	if pkt.Kind == packet.Data {
 		p.TxDataBytes += pkt.Size
 	}
 	p.txPkt = pkt
-	p.net.Sched.At(p.busyEnd, p.txDoneFn)
+	p.net.Sched.At(end, p.txDoneFn)
 }
 
 // txDone completes a serialization: release ingress accounting, put the
@@ -647,7 +657,7 @@ func (p *Port) transmit(pkt *packet.Packet, fromQueue bool) {
 func (p *Port) txDone() {
 	pkt := p.txPkt
 	p.txPkt = nil
-	p.busy = false
+	p.net.busy[p.idx] = false
 	// The packet has fully left this node: release ingress accounting.
 	if p.node.kind == topo.Switch && pkt.InPort >= 0 {
 		ing := p.node.ports[pkt.InPort]
@@ -738,6 +748,19 @@ type Network struct {
 	ports []*Port
 	// portAt[linkIdx] = [2]*Port: side A, side B.
 	portAt [][2]*Port
+
+	// Struct-of-arrays hot-path port state, indexed by Port.idx (scalar
+	// per port) or Port.pb+prio (per port × priority). Keeping these in
+	// flat arrays owned by the Network — rather than as fields on Port —
+	// turns the fabric-wide scans (Stranded, the WaitCycles node pass,
+	// the invariant sweeps) into linear walks over contiguous memory and
+	// drops a pointer chase from every per-event access.
+	nPrio   int
+	qbytes  []units.ByteSize // [pb+prio] egress queue bytes
+	blocked []bool           // [pb+prio] gate currently refuses (OFF)
+	busy    []bool           // [idx] serializing a packet
+	busyEnd []units.Time     // [idx] current serialization end
+	wakeAt  []units.Time     // [idx] armed source wake (0 = none)
 	// arena slab-allocates and recycles packets within this
 	// single-threaded run: packets die at host sinks, where receive
 	// returns their slots for reuse by NewPacket.
@@ -785,22 +808,30 @@ func New(s *sim.Scheduler, t *topo.Topology, cfg Config) *Network {
 	for i, tn := range t.Nodes {
 		n.nodes[i] = &node{id: tn.ID, kind: tn.Kind}
 	}
+	np := 2 * len(t.Links)
+	n.nPrio = cfg.Priorities
+	n.qbytes = make([]units.ByteSize, np*cfg.Priorities)
+	n.blocked = make([]bool, np*cfg.Priorities)
+	n.busy = make([]bool, np)
+	n.busyEnd = make([]units.Time, np)
+	n.wakeAt = make([]units.Time, np)
 	n.portAt = make([][2]*Port, len(t.Links))
 	for li, l := range t.Links {
 		mk := func(owner packet.NodeID) *Port {
 			nd := n.nodes[owner]
+			idx := int32(len(n.ports))
 			p := &Port{
-				net:     n,
-				node:    nd,
-				Index:   len(nd.ports),
-				Link:    li,
-				Rate:    l.Rate,
-				Delay:   l.Delay,
-				queues:  make([]fifo, cfg.Priorities),
-				rr:      make([]int, cfg.Priorities),
-				qbytes:  make([]units.ByteSize, cfg.Priorities),
-				dets:    make([]Detector, cfg.Priorities),
-				blocked: make([]bool, cfg.Priorities),
+				net:    n,
+				node:   nd,
+				Index:  len(nd.ports),
+				Link:   li,
+				Rate:   l.Rate,
+				Delay:  l.Delay,
+				idx:    idx,
+				pb:     idx * int32(cfg.Priorities),
+				queues: make([]fifo, cfg.Priorities),
+				rr:     make([]int, cfg.Priorities),
+				dets:   make([]Detector, cfg.Priorities),
 			}
 			p.txDoneFn = p.txDone
 			p.wakeFn = p.wake
@@ -897,22 +928,23 @@ func (r *StrandedReport) Deadlocked() bool {
 	return len(r.Ports) > 0 && r.Blocked == len(r.Ports)
 }
 
-// Stranded scans all ports for undelivered queued traffic.
+// Stranded scans all ports for undelivered queued traffic. The scan is a
+// linear sweep over the flat qbytes/blocked arrays; Port pointers are
+// only touched for ports that actually hold traffic.
 func (n *Network) Stranded() StrandedReport {
 	var rep StrandedReport
-	for _, p := range n.ports {
-		q := p.TotalQueueBytes()
+	for base := 0; base < len(n.qbytes); base += n.nPrio {
+		var q units.ByteSize
+		anyBlocked := false
+		for k := 0; k < n.nPrio; k++ {
+			q += n.qbytes[base+k]
+			anyBlocked = anyBlocked || n.blocked[base+k]
+		}
 		if q == 0 {
 			continue
 		}
-		rep.Ports = append(rep.Ports, p)
+		rep.Ports = append(rep.Ports, n.ports[base/n.nPrio])
 		rep.Bytes += q
-		anyBlocked := false
-		for prio := range p.blocked {
-			if p.blocked[prio] {
-				anyBlocked = true
-			}
-		}
 		if anyBlocked {
 			rep.Blocked++
 		}

@@ -35,7 +35,7 @@ func (p *Port) SetDown(down bool) {
 		}
 		rec.Record(obs.Event{At: p.net.Sched.Now(), Kind: kind, Port: p.Label(), Flow: -1})
 	}
-	if !down && !p.busy {
+	if !down && !p.net.busy[p.idx] {
 		p.tryTransmit()
 	}
 }
@@ -62,7 +62,7 @@ func (p *Port) SetFrozen(frozen bool) {
 		}
 		rec.Record(obs.Event{At: p.net.Sched.Now(), Kind: kind, Port: p.Label(), Flow: -1})
 	}
-	if !frozen && !p.busy {
+	if !frozen && !p.net.busy[p.idx] {
 		p.tryTransmit()
 	}
 }
@@ -157,8 +157,9 @@ func (n *Network) QueuedPayload() units.ByteSize {
 // not sustain a cycle (it has nothing to contribute to downstream
 // occupancy), and a port with traffic but an open gate will drain.
 func (p *Port) waitsBlocked() bool {
-	for prio := range p.blocked {
-		if p.blocked[prio] && p.qbytes[prio] > 0 {
+	base := int(p.pb)
+	for k := 0; k < p.net.nPrio; k++ {
+		if p.net.blocked[base+k] && p.net.qbytes[base+k] > 0 {
 			return true
 		}
 	}
@@ -178,10 +179,20 @@ func (n *Network) WaitCycles() [][]*Port {
 	if n.Route == nil {
 		return nil
 	}
+	// Node pass: a linear sweep over the flat blocked/qbytes arrays; the
+	// per-Port graph work below only runs for ports that qualify.
 	idx := make(map[*Port]int, len(n.ports))
 	var blocked []*Port
-	for _, p := range n.ports {
-		if p.waitsBlocked() {
+	for base := 0; base < len(n.blocked); base += n.nPrio {
+		waits := false
+		for k := 0; k < n.nPrio; k++ {
+			if n.blocked[base+k] && n.qbytes[base+k] > 0 {
+				waits = true
+				break
+			}
+		}
+		if waits {
+			p := n.ports[base/n.nPrio]
 			idx[p] = len(blocked)
 			blocked = append(blocked, p)
 		}

@@ -142,21 +142,21 @@ func TestFaultLinkDownStallsAndRecovers(t *testing.T) {
 	if l.flow.Done {
 		t.Fatal("flow completed across a dead link")
 	}
-	rxAtOutage := l.flow.BytesRxed
+	rxAtOutage := l.flow.BytesRxed()
 	if l.net.FaultDrops == 0 {
 		t.Fatal("frames in flight at link-down should have been destroyed")
 	}
 	l.sched.RunUntil(400 * units.Microsecond)
 	if !l.flow.Done {
-		t.Fatalf("flow did not recover after link-up: rxed %d of %d", l.flow.BytesRxed, l.flow.Size)
+		t.Fatalf("flow did not recover after link-up: rxed %d of %d", l.flow.BytesRxed(), l.flow.Size)
 	}
-	if l.flow.BytesRxed <= rxAtOutage {
+	if l.flow.BytesRxed() <= rxAtOutage {
 		t.Fatal("no progress after recovery")
 	}
 	// Conservation across the fault: everything sent is delivered or
 	// destroyed (nothing queued or in flight after completion).
 	sent := l.flow.BytesSent()
-	accounted := l.flow.BytesRxed + l.net.FaultDropPayload() + l.net.InFlightPayload() + l.net.QueuedPayload()
+	accounted := l.flow.BytesRxed() + l.net.FaultDropPayload() + l.net.InFlightPayload() + l.net.QueuedPayload()
 	if sent != accounted {
 		t.Fatalf("conservation: sent %d != accounted %d", sent, accounted)
 	}

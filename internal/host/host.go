@@ -84,22 +84,33 @@ type Flow struct {
 	// (and their ACKs/CNPs) travel on.
 	Priority uint8
 
-	// Receiver-side observations.
-	BytesRxed units.ByteSize
-	PktsRxed  int
-	CEPackets int // data packets received with CE
-	UEPackets int // data packets received with UE
-	Done      bool
-	FCT       units.Time // completion latency (valid when Done)
-	firstRxAt units.Time
-	lastCNPce units.Time
-	lastCNPue units.Time
-	sender    *senderFlow
+	Done   bool
+	FCT    units.Time // completion latency (valid when Done)
+	mgr    *Manager
+	sender *senderFlow
 }
+
+// The receiver-side per-packet observations live in struct-of-arrays
+// slices on the Manager (indexed by the dense FlowID), not on Flow: the
+// sink hot path updates four counters per delivered packet, and the
+// conservation-invariant scan sums them across every flow — both walk
+// contiguous arrays instead of chasing a pointer per flow.
+
+// BytesRxed reports the payload volume delivered to the receiver.
+func (f *Flow) BytesRxed() units.ByteSize { return f.mgr.rxBytes[f.ID] }
+
+// PktsRxed reports the number of data packets delivered.
+func (f *Flow) PktsRxed() int { return int(f.mgr.rxPkts[f.ID]) }
+
+// CEPackets reports the data packets received carrying CE.
+func (f *Flow) CEPackets() int { return int(f.mgr.cePkts[f.ID]) }
+
+// UEPackets reports the data packets received carrying UE.
+func (f *Flow) UEPackets() int { return int(f.mgr.uePkts[f.ID]) }
 
 // FirstByteAt reports when the receiver saw the flow's first packet
 // (zero if nothing arrived yet) — the time-to-first-byte metric.
-func (f *Flow) FirstByteAt() units.Time { return f.firstRxAt }
+func (f *Flow) FirstByteAt() units.Time { return f.mgr.firstRx[f.ID] }
 
 // BytesSent reports the payload volume the sender's NIC has serialized
 // onto the wire so far (0 before the flow activates). Every byte it
@@ -160,6 +171,16 @@ type Manager struct {
 	flows     []*Flow
 	nextID    packet.FlowID
 
+	// Struct-of-arrays receiver-side flow state, indexed by FlowID (dense
+	// by construction: AddFlow assigns sequential IDs).
+	rxBytes   []units.ByteSize
+	rxPkts    []int32
+	cePkts    []int32
+	uePkts    []int32
+	firstRx   []units.Time
+	lastCNPce []units.Time
+	lastCNPue []units.Time
+
 	// OnDone, if set, is called when a flow's last data byte arrives.
 	OnDone func(*Flow)
 	// Rec, if non-nil, receives CNP-emission and flow-completion events,
@@ -219,9 +240,16 @@ func (m *Manager) AddFlow(src, dst packet.NodeID, size units.ByteSize, start uni
 	if size <= 0 {
 		panic("host: AddFlow with non-positive size")
 	}
-	f := &Flow{ID: m.nextID, Src: src, Dst: dst, Size: size, Start: start, Ctrl: ctrl}
+	f := &Flow{ID: m.nextID, Src: src, Dst: dst, Size: size, Start: start, Ctrl: ctrl, mgr: m}
 	m.nextID++
 	m.flows = append(m.flows, f)
+	m.rxBytes = append(m.rxBytes, 0)
+	m.rxPkts = append(m.rxPkts, 0)
+	m.cePkts = append(m.cePkts, 0)
+	m.uePkts = append(m.uePkts, 0)
+	m.firstRx = append(m.firstRx, 0)
+	m.lastCNPce = append(m.lastCNPce, 0)
+	m.lastCNPue = append(m.lastCNPue, 0)
 	if ft, ok := ctrl.(obs.FlowTracer); ok && m.Rec != nil {
 		ft.SetTrace(m.Rec, int64(f.ID))
 	}
@@ -368,18 +396,19 @@ func (m *Manager) sink(h packet.NodeID, pkt *packet.Packet) {
 }
 
 func (m *Manager) onData(ep *Endpoint, f *Flow, pkt *packet.Packet, now units.Time) {
-	if f.PktsRxed == 0 {
-		f.firstRxAt = now
+	id := f.ID
+	if m.rxPkts[id] == 0 {
+		m.firstRx[id] = now
 	}
-	f.BytesRxed += pkt.Payload
-	f.PktsRxed++
+	m.rxBytes[id] += pkt.Payload
+	m.rxPkts[id]++
 	ce := pkt.Code == packet.CE
 	ue := pkt.Code == packet.UE
 	if ce {
-		f.CEPackets++
+		m.cePkts[id]++
 	}
 	if ue {
-		f.UEPackets++
+		m.uePkts[id]++
 	}
 	if pkt.Last && !f.Done {
 		f.Done = true
@@ -408,16 +437,46 @@ func (m *Manager) onData(ep *Endpoint, f *Flow, pkt *packet.Packet, now units.Ti
 	}
 	// Congestion notification point: echo CE (and UE, for TCD-aware
 	// transports) back to the reaction point, rate-limited per flow.
-	if ce && (f.lastCNPce == 0 || now-f.lastCNPce >= m.cfg.CNPWindow) {
-		f.lastCNPce = now
+	if ce && (m.lastCNPce[id] == 0 || now-m.lastCNPce[id] >= m.cfg.CNPWindow) {
+		m.lastCNPce[id] = now
 		ep.pushCtrl(m.cnp(ep.id, f, true, false))
 		m.recordCNP(now, f, 1)
 	}
-	if ue && (f.lastCNPue == 0 || now-f.lastCNPue >= m.cfg.CNPWindow) {
-		f.lastCNPue = now
+	if ue && (m.lastCNPue[id] == 0 || now-m.lastCNPue[id] >= m.cfg.CNPWindow) {
+		m.lastCNPue[id] = now
 		ep.pushCtrl(m.cnp(ep.id, f, false, true))
 		m.recordCNP(now, f, 2)
 	}
+}
+
+// TotalRxed sums delivered payload across every flow in one sweep over
+// the receiver-side byte ledger — the "delivered" term of the
+// conservation invariant.
+func (m *Manager) TotalRxed() units.ByteSize {
+	var t units.ByteSize
+	for _, b := range m.rxBytes {
+		t += b
+	}
+	return t
+}
+
+// AdjustRx moves a flow's delivered-byte ledger by delta without a
+// packet. It exists solely as a test hook for the conservation checker's
+// self-test (forging a leak); simulation code must never call it.
+func (m *Manager) AdjustRx(f *Flow, delta units.ByteSize) { m.rxBytes[f.ID] += delta }
+
+// StandaloneFlow returns a Flow detached from any simulation with forged
+// receiver counters — only for unit tests of metric helpers that take a
+// *Flow. Flows in a simulation always come from AddFlow.
+func StandaloneFlow(pkts, ce, ue int) *Flow {
+	m := &Manager{
+		rxBytes: []units.ByteSize{0},
+		rxPkts:  []int32{int32(pkts)},
+		cePkts:  []int32{int32(ce)},
+		uePkts:  []int32{int32(ue)},
+		firstRx: []units.Time{0},
+	}
+	return &Flow{mgr: m}
 }
 
 // recordCNP emits a CNP event (echo: 1 = CE, 2 = UE).

@@ -46,11 +46,11 @@ func TestSingleFlowCompletesAtLineRate(t *testing.T) {
 	if !f.Done {
 		t.Fatal("flow did not complete")
 	}
-	if f.BytesRxed != 100*units.KB {
-		t.Errorf("received %v, want 100KB", f.BytesRxed)
+	if f.BytesRxed() != 100*units.KB {
+		t.Errorf("received %v, want 100KB", f.BytesRxed())
 	}
-	if f.PktsRxed != 100 {
-		t.Errorf("received %d packets, want 100", f.PktsRxed)
+	if f.PktsRxed() != 100 {
+		t.Errorf("received %d packets, want 100", f.PktsRxed())
 	}
 	// Wire time: 100 packets of 1048B at 40G = 100*209.6ns = 20.96us, plus
 	// pipeline (one hop store-and-forward + 2 links).
@@ -177,8 +177,8 @@ func TestCNPGenerationAndRateLimit(t *testing.T) {
 	if !f.Done {
 		t.Fatal("flow did not complete")
 	}
-	if f.CEPackets != 1000 {
-		t.Errorf("CE packets = %d, want 1000 (all marked)", f.CEPackets)
+	if f.CEPackets() != 1000 {
+		t.Errorf("CE packets = %d, want 1000 (all marked)", f.CEPackets())
 	}
 	if len(rec.notifies) < 3 || len(rec.notifies) > 7 {
 		t.Errorf("CNP count = %d, want ~5 (50us window over ~210us)", len(rec.notifies))
@@ -206,8 +206,8 @@ func TestUECNPsAreSeparate(t *testing.T) {
 	rec := &recordCtrl{rate: 40 * units.Gbps}
 	f := r.mgr.AddFlow(r.id("a"), r.id("b"), 500*units.KB, 0, rec)
 	r.sched.Run()
-	if f.UEPackets != 500 {
-		t.Errorf("UE packets = %d, want 500", f.UEPackets)
+	if f.UEPackets() != 500 {
+		t.Errorf("UE packets = %d, want 500", f.UEPackets())
 	}
 	if len(rec.notifies) == 0 {
 		t.Fatal("no UE CNPs generated")
@@ -227,8 +227,8 @@ func TestNotCapableTransportNeverMarked(t *testing.T) {
 	rec := &recordCtrl{rate: 40 * units.Gbps}
 	f := r.mgr.AddFlow(r.id("a"), r.id("b"), 10*units.KB, 0, rec)
 	r.sched.Run()
-	if f.CEPackets != 0 || len(rec.notifies) != 0 {
-		t.Errorf("non-capable transport was marked: ce=%d cnp=%d", f.CEPackets, len(rec.notifies))
+	if f.CEPackets() != 0 || len(rec.notifies) != 0 {
+		t.Errorf("non-capable transport was marked: ce=%d cnp=%d", f.CEPackets(), len(rec.notifies))
 	}
 }
 
@@ -237,8 +237,8 @@ func TestLastPartialPacket(t *testing.T) {
 	// 2500 B = two full MTUs plus a 500 B tail.
 	f := r.mgr.AddFlow(r.id("a"), r.id("b"), 2500, 0, host.FixedRate(40*units.Gbps))
 	r.sched.Run()
-	if !f.Done || f.BytesRxed != 2500 || f.PktsRxed != 3 {
-		t.Errorf("partial-packet flow: done=%v bytes=%v pkts=%d", f.Done, f.BytesRxed, f.PktsRxed)
+	if !f.Done || f.BytesRxed() != 2500 || f.PktsRxed() != 3 {
+		t.Errorf("partial-packet flow: done=%v bytes=%v pkts=%d", f.Done, f.BytesRxed(), f.PktsRxed())
 	}
 }
 

@@ -155,19 +155,36 @@ func (m *Meter) PauseOutstanding(prio uint8) bool { return m.sent[prio] }
 // the paper.
 func Install(n *fabric.Network, cfg Config) {
 	nPrio := n.Config().Priorities
-	for _, p := range n.Ports() {
-		g := &Gate{port: p, paused: make([]bool, nPrio), pausedSince: make([]units.Time, nPrio)}
-		for prio := range g.pausedSince {
-			g.pausedSince[prio] = units.Forever
+	ports := n.Ports()
+	// One backing array per field, subsliced per gate/meter: the pause
+	// and occupancy state of the whole fabric stays contiguous, so the
+	// deadlock detector's attribution pass and the invariant sweeps walk
+	// cache lines instead of one small heap object per port.
+	paused := make([]bool, len(ports)*nPrio)
+	since := make([]units.Time, len(ports)*nPrio)
+	for i := range since {
+		since[i] = units.Forever
+	}
+	nSw := 0
+	for _, p := range ports {
+		if n.Topo.Nodes[p.Node()].Kind == topo.Switch {
+			nSw++
 		}
+	}
+	occ := make([]units.ByteSize, nSw*nPrio)
+	sent := make([]bool, nSw*nPrio)
+	mi := 0
+	for i, p := range ports {
+		g := &Gate{port: p, paused: paused[i*nPrio : (i+1)*nPrio], pausedSince: since[i*nPrio : (i+1)*nPrio]}
 		p.AttachGate(g)
 		if n.Topo.Nodes[p.Node()].Kind == topo.Switch {
 			m := &Meter{
 				port: p,
 				cfg:  cfg,
-				occ:  make([]units.ByteSize, nPrio),
-				sent: make([]bool, nPrio),
+				occ:  occ[mi*nPrio : (mi+1)*nPrio],
+				sent: sent[mi*nPrio : (mi+1)*nPrio],
 			}
+			mi++
 			p.AttachMeter(m)
 		}
 	}

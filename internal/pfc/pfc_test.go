@@ -49,8 +49,8 @@ func TestIncastIsLosslessUnderPFC(t *testing.T) {
 		if !f.Done {
 			t.Fatalf("flow %d from %s did not complete", f.ID, g.Name(f.Src))
 		}
-		if f.BytesRxed != 200*units.KB {
-			t.Errorf("flow %d lost bytes: %v", f.ID, f.BytesRxed)
+		if f.BytesRxed() != 200*units.KB {
+			t.Errorf("flow %d lost bytes: %v", f.ID, f.BytesRxed())
 		}
 	}
 	for _, mt := range pfc.Meters(n) {

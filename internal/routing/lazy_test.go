@@ -1,0 +1,187 @@
+package routing
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/tcdnet/tcd/internal/packet"
+	"github.com/tcdnet/tcd/internal/topo"
+	"github.com/tcdnet/tcd/internal/units"
+)
+
+// lazyCase pairs a topology with the structural column source that claims
+// to reproduce its BFS columns (nil = BFS-fallback lazy mode only).
+type lazyCase struct {
+	name string
+	topo *topo.Topology
+	src  ColumnSource
+}
+
+func lazyCases(t *testing.T) []lazyCase {
+	t.Helper()
+	rate, delay := 40*units.Gbps, 4*units.Microsecond
+	fig2 := topo.NewFig2(topo.Fig2Config{Rate: rate, Delay: delay, NumBursters: 15, WithB: true})
+	ring := topo.NewRing(5, rate, delay)
+	ft4 := topo.NewFatTree(4, rate, delay)
+	ft8 := topo.NewFatTree(8, rate, delay)
+	ls := topo.NewLeafSpine(4, 4, 8, rate, delay)
+	return []lazyCase{
+		{"fig2", fig2.Topology, nil},
+		{"ring5", ring.Topology, nil},
+		{"fattree-k4-bfs", ft4.Topology, nil},
+		{"fattree-k4-structural", ft4.Topology, FatTreeColumns(ft4)},
+		{"fattree-k8-structural", ft8.Topology, FatTreeColumns(ft8)},
+		{"leafspine-4x4x8-bfs", ls.Topology, nil},
+		{"leafspine-4x4x8-structural", ls.Topology, LeafSpineColumns(ls)},
+	}
+}
+
+// TestLazyChoicesMatchEager asserts, for every (node, host) pair, that a
+// lazy table — BFS-fallback or structural, under an eviction-forcing LRU
+// cap — returns byte-identical Choices to the eager reference. Two full
+// passes make every column rebuild at least once after eviction.
+func TestLazyChoicesMatchEager(t *testing.T) {
+	for _, tc := range lazyCases(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			eager := BuildShortestPath(tc.topo)
+			lazy := NewLazy(tc.topo, tc.src, 3) // tiny cap: force churn
+			hosts := tc.topo.Hosts()
+			for pass := 0; pass < 2; pass++ {
+				for _, dst := range hosts {
+					for _, n := range tc.topo.Nodes {
+						want := eager.Choices(n.ID, dst)
+						got := lazy.Choices(n.ID, dst)
+						if len(want) != len(got) {
+							t.Fatalf("pass %d: Choices(%s→%s): got %v, want %v",
+								pass, tc.topo.Name(n.ID), tc.topo.Name(dst), got, want)
+						}
+						for i := range want {
+							if want[i] != got[i] {
+								t.Fatalf("pass %d: Choices(%s→%s)[%d]: got %d, want %d",
+									pass, tc.topo.Name(n.ID), tc.topo.Name(dst), i, got[i], want[i])
+							}
+						}
+					}
+				}
+			}
+			if lazy.LiveColumns() > 3 {
+				t.Errorf("live columns %d exceeds cap 3", lazy.LiveColumns())
+			}
+			if len(hosts) > 3 && lazy.Stats().Evicted == 0 {
+				t.Error("no evictions despite cap < hosts")
+			}
+			if tc.src != nil && lazy.Stats().BFSRuns != 0 {
+				t.Errorf("structural source ran %d BFS passes", lazy.Stats().BFSRuns)
+			}
+		})
+	}
+}
+
+// TestLazySelectorsMatchEager drives every selector (FirstPath, ECMP
+// across salts, DModK) over synthetic packets and asserts the lazy table
+// picks the same link as the eager reference — the property that makes
+// event traces independent of table mode.
+func TestLazySelectorsMatchEager(t *testing.T) {
+	for _, tc := range lazyCases(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			eager := BuildShortestPath(tc.topo)
+			lazy := NewLazy(tc.topo, tc.src, 4)
+			sels := map[string]Selector{
+				"first":   FirstPath(),
+				"ecmp-1":  ECMP(1),
+				"ecmp-7":  ECMP(7),
+				"ecmp-99": ECMP(99),
+				"dmodk":   DModK(),
+			}
+			hosts := tc.topo.Hosts()
+			for fi := 0; fi < 8; fi++ {
+				pkt := &packet.Packet{Flow: packet.FlowID(fi)}
+				for _, dst := range hosts {
+					pkt.Dst = dst
+					for _, n := range tc.topo.Nodes {
+						want := eager.Choices(n.ID, dst)
+						if len(want) == 0 {
+							continue
+						}
+						got := lazy.Choices(n.ID, dst)
+						for name, sel := range sels {
+							if w, g := sel(pkt, want), sel(pkt, got); w != g {
+								t.Fatalf("%s at %s→%s flow %d: lazy picked link %d, eager %d",
+									name, tc.topo.Name(n.ID), tc.topo.Name(dst), fi, g, w)
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestLazyPathLenMatchesEager pins PathLen (used for ideal-FCT baselines)
+// across table modes.
+func TestLazyPathLenMatchesEager(t *testing.T) {
+	for _, tc := range lazyCases(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			eager := BuildShortestPath(tc.topo)
+			lazy := NewLazy(tc.topo, tc.src, 2)
+			hosts := tc.topo.Hosts()
+			for _, src := range hosts {
+				for _, dst := range hosts {
+					if w, g := eager.PathLen(src, dst), lazy.PathLen(src, dst); w != g {
+						t.Fatalf("PathLen(%s,%s): lazy %d, eager %d",
+							tc.topo.Name(src), tc.topo.Name(dst), g, w)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestLazyMemoryBelowEager sanity-checks the memory accounting the
+// -topo-stats flag reports: a lazy table under its cap must sit well
+// below the eager estimate once the host count dwarfs the cap.
+func TestLazyMemoryBelowEager(t *testing.T) {
+	ft := topo.NewFatTree(8, 40*units.Gbps, 4*units.Microsecond) // 128 hosts
+	lazy := NewLazy(ft.Topology, FatTreeColumns(ft), 8)
+	for _, h := range ft.HostList {
+		lazy.Choices(ft.Edges[0][0], h)
+	}
+	live, eager := lazy.LiveBytes(), lazy.EagerBytesEstimate()
+	if eager <= 0 || live <= 0 {
+		t.Fatalf("degenerate accounting: live=%d eager=%d", live, eager)
+	}
+	if live*4 > eager {
+		t.Errorf("lazy table (%d B, cap 8 of 128 columns) not well below eager estimate (%d B)", live, eager)
+	}
+	if got := lazy.LiveColumns(); got != 8 {
+		t.Errorf("live columns = %d, want cap 8", got)
+	}
+}
+
+// TestEagerEstimateSideEffectFree pins that estimating does not
+// materialize or evict columns.
+func TestEagerEstimateSideEffectFree(t *testing.T) {
+	ls := topo.NewLeafSpine(4, 2, 4, 40*units.Gbps, 4*units.Microsecond)
+	lazy := NewLazy(ls.Topology, LeafSpineColumns(ls), 4)
+	lazy.Choices(ls.Leaves[0], ls.HostList[3])
+	before := lazy.Stats()
+	liveBefore := lazy.LiveColumns()
+	_ = lazy.EagerBytesEstimate()
+	if lazy.Stats() != before || lazy.LiveColumns() != liveBefore {
+		t.Errorf("estimate perturbed table state: %+v -> %+v", before, lazy.Stats())
+	}
+}
+
+func BenchmarkLazyColumnMaterialize(b *testing.B) {
+	for _, k := range []int{8, 16} {
+		ft := topo.NewFatTree(k, 40*units.Gbps, 4*units.Microsecond)
+		src := FatTreeColumns(ft)
+		b.Run(fmt.Sprintf("structural-k%d", k), func(b *testing.B) {
+			tb := NewLazy(ft.Topology, src, 1)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				tb.Choices(ft.Edges[0][0], ft.HostList[i%len(ft.HostList)])
+			}
+		})
+	}
+}

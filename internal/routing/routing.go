@@ -1,85 +1,325 @@
 // Package routing computes forwarding tables over a topology and adapts
 // them to the fabric: static shortest-path, per-flow ECMP hashing, and the
 // deterministic D-mod-k scheme the paper uses for InfiniBand fat-trees.
+//
+// Tables are stored column-major in a compressed sparse row (CSR)
+// encoding: one column per destination host, holding a choices pool
+// ([]int32 link indices) plus an offset array indexed by node. Columns are
+// either materialized eagerly at build time (BuildShortestPath — the
+// golden-trace reference) or lazily on first use with an LRU bound
+// (NewLazy — the hyperscale path). Lazy columns come from a structural
+// ColumnSource when the topology's builder can derive next-hops without
+// search (fat-tree, leaf–spine), or from an on-demand reverse BFS
+// otherwise. Either way the column contents are byte-identical to the
+// eager reference, so route decisions — and therefore event traces — do
+// not depend on which mode built the table.
 package routing
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"github.com/tcdnet/tcd/internal/fabric"
 	"github.com/tcdnet/tcd/internal/packet"
 	"github.com/tcdnet/tcd/internal/topo"
 )
 
-// Table holds, for every (node, destination host) pair, the sorted set of
-// equal-cost next-hop links.
-type Table struct {
-	topo *topo.Topology
-	// hostIdx maps a host NodeID to a dense index; hostOf is the same
-	// mapping as a dense slice over all node IDs (-1 for non-hosts) so
-	// the per-hop Choices lookup stays off the map.
-	hostIdx map[packet.NodeID]int
-	hostOf  []int32
-	hosts   []packet.NodeID
-	// next[node][hostIdx] = equal-cost link indices, ascending.
-	next [][][]int32
+// DefaultColumnCap bounds the number of simultaneously materialized
+// columns in a lazy table. 512 columns keep the working set of a few
+// hundred concurrently active destinations resident while holding a
+// k=32 fat-tree (8192 hosts) at ~1/16th of the eager table footprint.
+const DefaultColumnCap = 512
+
+// ColumnSource derives a destination's full next-hop column structurally,
+// without graph search. AppendColumn fills start (length #nodes+1, with
+// start[0] already 0) so that column row n is choices[start[n]:start[n+1]],
+// appending each node's equal-cost link indices in ascending order, and
+// returns the grown choices slice. The output must be identical to what a
+// reverse BFS from dst would compute — the lazy/eager equivalence property
+// tests enforce this.
+type ColumnSource interface {
+	AppendColumn(dst packet.NodeID, start []int32, choices []int32) []int32
 }
 
-// BuildShortestPath computes equal-cost shortest-path sets with a reverse
-// BFS from every host.
-func BuildShortestPath(t *topo.Topology) *Table {
-	tb := &Table{topo: t, hostIdx: make(map[packet.NodeID]int)}
-	for _, h := range t.Hosts() {
-		tb.hostIdx[h] = len(tb.hosts)
-		tb.hosts = append(tb.hosts, h)
-	}
-	nNodes := len(t.Nodes)
-	nHosts := len(tb.hosts)
-	tb.hostOf = make([]int32, nNodes)
+// column is one destination's CSR next-hop table: row n of the table is
+// choices[start[n]:start[n+1]], ascending link indices. ports caches the
+// resolved egress port for single-choice rows once the table is attached
+// to a fabric (nil until first routed through). Columns of a lazy table
+// are chained into an LRU list for eviction.
+type column struct {
+	hi         int32
+	start      []int32
+	choices    []int32
+	ports      []*fabric.Port
+	prev, next *column
+}
+
+func (c *column) bytes() int64 {
+	b := int64(4 * (len(c.start) + cap(c.choices)))
+	b += int64(8 * len(c.ports))
+	return b
+}
+
+// TableStats counts column materialization activity.
+type TableStats struct {
+	// Materialized counts columns built, including rebuilds after
+	// eviction.
+	Materialized uint64
+	// Evicted counts columns dropped by the LRU bound.
+	Evicted uint64
+	// BFSRuns counts columns built by reverse BFS (as opposed to a
+	// structural ColumnSource).
+	BFSRuns uint64
+}
+
+// Table holds, for every (node, destination host) pair, the sorted set of
+// equal-cost next-hop links, one CSR column per destination host.
+type Table struct {
+	topo *topo.Topology
+	// hostOf maps NodeID -> dense host index (-1 for non-hosts) so the
+	// per-hop column lookup stays off any map.
+	hostOf []int32
+	hosts  []packet.NodeID
+
+	// cols[hi] is nil until the column is materialized.
+	cols []*column
+	src  ColumnSource
+	lazy bool
+	cap  int
+
+	// LRU list of materialized columns, most recent at head (lazy only).
+	head, tail *column
+	live       int
+
+	net *fabric.Network
+	sel Selector
+
+	// Reverse-BFS scratch, reused across materializations.
+	dist  []int32
+	queue []packet.NodeID
+
+	stats TableStats
+}
+
+func newTable(t *topo.Topology) *Table {
+	tb := &Table{topo: t}
+	tb.hosts = t.Hosts()
+	tb.hostOf = make([]int32, len(t.Nodes))
 	for i := range tb.hostOf {
 		tb.hostOf[i] = -1
 	}
 	for hi, h := range tb.hosts {
 		tb.hostOf[h] = int32(hi)
 	}
-	tb.next = make([][][]int32, nNodes)
-	for i := range tb.next {
-		tb.next[i] = make([][]int32, nHosts)
+	tb.cols = make([]*column, len(tb.hosts))
+	return tb
+}
+
+// BuildShortestPath computes equal-cost shortest-path sets with a reverse
+// BFS from every host, materializing every column eagerly. This is the
+// reference table: lazy tables must reproduce its columns exactly.
+func BuildShortestPath(t *topo.Topology) *Table {
+	tb := newTable(t)
+	for hi := range tb.hosts {
+		tb.cols[hi] = tb.build(int32(hi))
 	}
-	dist := make([]int32, nNodes)
-	queue := make([]packet.NodeID, 0, nNodes)
-	for hi, h := range tb.hosts {
-		for i := range dist {
-			dist[i] = -1
+	return tb
+}
+
+// NewLazy returns a table that materializes per-destination columns on
+// first use, keeping at most capCols columns resident (0 means
+// DefaultColumnCap). Columns come from src when non-nil (structural
+// derivation, O(nodes) per column) and from an on-demand reverse BFS
+// otherwise. Access order — and therefore eviction — is deterministic in
+// a single-threaded run, so lazy tables preserve trace byte-identity.
+func NewLazy(t *topo.Topology, src ColumnSource, capCols int) *Table {
+	tb := newTable(t)
+	tb.src = src
+	tb.lazy = true
+	if capCols <= 0 {
+		capCols = DefaultColumnCap
+	}
+	tb.cap = capCols
+	return tb
+}
+
+// Lazy reports whether the table materializes columns on demand.
+func (tb *Table) Lazy() bool { return tb.lazy }
+
+// Stats returns materialization counters.
+func (tb *Table) Stats() TableStats { return tb.stats }
+
+// NumHosts returns the number of destination columns the table spans.
+func (tb *Table) NumHosts() int { return len(tb.hosts) }
+
+// ColumnCap returns the resident-column ceiling: every host for an eager
+// table, the LRU cap for a lazy one.
+func (tb *Table) ColumnCap() int {
+	if !tb.lazy {
+		return len(tb.hosts)
+	}
+	return tb.cap
+}
+
+// LiveColumns returns the number of currently materialized columns.
+func (tb *Table) LiveColumns() int {
+	if !tb.lazy {
+		return len(tb.hosts)
+	}
+	return tb.live
+}
+
+// LiveBytes returns the heap footprint of the materialized columns plus
+// the table's fixed per-node overhead.
+func (tb *Table) LiveBytes() int64 {
+	b := int64(4*len(tb.hostOf) + 8*len(tb.hosts) + 8*len(tb.cols))
+	b += int64(4*len(tb.dist) + 8*cap(tb.queue))
+	for _, c := range tb.cols {
+		if c != nil {
+			b += c.bytes()
 		}
-		dist[h] = 0
-		queue = queue[:0]
-		queue = append(queue, h)
-		for qi := 0; qi < len(queue); qi++ {
-			cur := queue[qi]
-			for _, ad := range t.Adj(cur) {
-				if dist[ad.Peer] == -1 {
-					dist[ad.Peer] = dist[cur] + 1
-					queue = append(queue, ad.Peer)
-				}
+	}
+	return b
+}
+
+// EagerBytesEstimate estimates the footprint of fully materializing every
+// column (the eager table), by building a small sample of columns into
+// scratch storage — no table state is touched. The estimate includes the
+// per-column port cache only when the table is attached to a fabric, so
+// it is comparable with LiveBytes.
+func (tb *Table) EagerBytesEstimate() int64 {
+	nHosts := len(tb.hosts)
+	if nHosts == 0 {
+		return 0
+	}
+	const sample = 8
+	n := sample
+	if n > nHosts {
+		n = nHosts
+	}
+	var total int64
+	for i := 0; i < n; i++ {
+		hi := int32(i * (nHosts - 1) / max(n-1, 1))
+		c := tb.fill(&column{hi: hi, start: make([]int32, len(tb.topo.Nodes)+1)})
+		b := int64(4 * (len(c.start) + len(c.choices)))
+		if tb.net != nil {
+			b += int64(8 * len(tb.hostOf))
+		}
+		total += b
+	}
+	return total / int64(n) * int64(nHosts)
+}
+
+// col returns the materialized column for host index hi, building (and,
+// in lazy mode, LRU-touching) it as needed.
+func (tb *Table) col(hi int32) *column {
+	c := tb.cols[hi]
+	if c == nil {
+		c = tb.build(hi)
+		tb.cols[hi] = c
+		return c
+	}
+	if tb.lazy && tb.head != c {
+		tb.unlink(c)
+		tb.pushFront(c)
+	}
+	return c
+}
+
+func (tb *Table) unlink(c *column) {
+	if c.prev != nil {
+		c.prev.next = c.next
+	} else if tb.head == c {
+		tb.head = c.next
+	}
+	if c.next != nil {
+		c.next.prev = c.prev
+	} else if tb.tail == c {
+		tb.tail = c.prev
+	}
+	c.prev, c.next = nil, nil
+}
+
+func (tb *Table) pushFront(c *column) {
+	c.next = tb.head
+	if tb.head != nil {
+		tb.head.prev = c
+	}
+	tb.head = c
+	if tb.tail == nil {
+		tb.tail = c
+	}
+}
+
+// build materializes one column, evicting the least recently used column
+// first when the lazy bound is reached.
+func (tb *Table) build(hi int32) *column {
+	if tb.lazy {
+		for tb.live >= tb.cap && tb.tail != nil {
+			victim := tb.tail
+			tb.unlink(victim)
+			tb.cols[victim.hi] = nil
+			tb.live--
+			tb.stats.Evicted++
+		}
+	}
+	c := tb.fill(&column{hi: hi, start: make([]int32, len(tb.topo.Nodes)+1)})
+	tb.stats.Materialized++
+	if tb.lazy {
+		tb.pushFront(c)
+		tb.live++
+	}
+	return c
+}
+
+// fill computes a column's rows, structurally when a source is present
+// and by reverse BFS otherwise.
+func (tb *Table) fill(c *column) *column {
+	if tb.src != nil {
+		c.choices = tb.src.AppendColumn(tb.hosts[c.hi], c.start, c.choices[:0])
+		return c
+	}
+	tb.stats.BFSRuns++
+	t := tb.topo
+	nNodes := len(t.Nodes)
+	if tb.dist == nil {
+		tb.dist = make([]int32, nNodes)
+		tb.queue = make([]packet.NodeID, 0, nNodes)
+	}
+	dist := tb.dist
+	for i := range dist {
+		dist[i] = -1
+	}
+	h := tb.hosts[c.hi]
+	dist[h] = 0
+	queue := tb.queue[:0]
+	queue = append(queue, h)
+	for qi := 0; qi < len(queue); qi++ {
+		cur := queue[qi]
+		for _, ad := range t.Adj(cur) {
+			if dist[ad.Peer] == -1 {
+				dist[ad.Peer] = dist[cur] + 1
+				queue = append(queue, ad.Peer)
 			}
 		}
-		for _, n := range t.Nodes {
-			if n.ID == h || dist[n.ID] == -1 {
-				continue
-			}
-			var choices []int32
-			for _, ad := range t.Adj(n.ID) {
-				if dist[ad.Peer] == dist[n.ID]-1 {
+	}
+	tb.queue = queue
+	choices := c.choices[:0]
+	for ni := 0; ni < nNodes; ni++ {
+		id := packet.NodeID(ni)
+		if id != h && dist[ni] != -1 {
+			row := len(choices)
+			for _, ad := range t.Adj(id) {
+				if dist[ad.Peer] == dist[ni]-1 {
 					choices = append(choices, int32(ad.Link))
 				}
 			}
-			sort.Slice(choices, func(i, j int) bool { return choices[i] < choices[j] })
-			tb.next[n.ID][hi] = choices
+			slices.Sort(choices[row:])
 		}
+		c.start[ni+1] = int32(len(choices))
 	}
-	return tb
+	c.choices = choices
+	return c
 }
 
 // Choices returns the equal-cost next-hop links from node toward dst.
@@ -88,7 +328,8 @@ func (tb *Table) Choices(node, dst packet.NodeID) []int32 {
 	if hi < 0 {
 		panic(fmt.Sprintf("routing: destination %s is not a host", tb.topo.Name(dst)))
 	}
-	return tb.next[node][hi]
+	c := tb.col(hi)
+	return c.choices[c.start[node]:c.start[node+1]]
 }
 
 // PathLen returns the hop count (number of links) from src host to dst
@@ -148,33 +389,46 @@ func DModK() Selector {
 	}
 }
 
-// Attach installs the table on a fabric network with the given selector.
-// Single-choice next hops (the overwhelmingly common case outside ECMP
-// fan-out stages) are pre-resolved to port pointers, so the per-hop route
-// lookup is one dense 2-D load instead of a choices fetch plus a PortOn
-// search.
-func (tb *Table) Attach(n *fabric.Network, sel Selector) {
-	single := make([][]*fabric.Port, len(tb.next))
-	for node := range tb.next {
-		single[node] = make([]*fabric.Port, len(tb.hosts))
-		for hi, choices := range tb.next[node] {
-			if len(choices) == 1 {
-				single[node][hi] = n.PortOn(packet.NodeID(node), int(choices[0]))
-			}
+// resolvePorts caches the egress port for every single-choice row of a
+// column. Multi-choice rows stay nil and go through the selector. Built
+// per column on first routed use — O(nodes), amortized across every
+// packet that ever routes to this destination — instead of the old
+// eager (nodes × hosts) pre-resolution, which is exactly the quadratic
+// table the lazy mode exists to avoid.
+func (tb *Table) resolvePorts(c *column) {
+	ports := make([]*fabric.Port, len(tb.hostOf))
+	for ni := range ports {
+		row := c.choices[c.start[ni]:c.start[ni+1]]
+		if len(row) == 1 {
+			ports[ni] = tb.net.PortOn(packet.NodeID(ni), int(row[0]))
 		}
 	}
+	c.ports = ports
+}
+
+// Attach installs the table on a fabric network with the given selector.
+// Single-choice next hops (the overwhelmingly common case outside ECMP
+// fan-out stages) are resolved to port pointers once per materialized
+// column, so the steady-state per-hop route lookup is two dense loads.
+func (tb *Table) Attach(n *fabric.Network, sel Selector) {
+	tb.net = n
+	tb.sel = sel
 	n.Route = func(sw packet.NodeID, pkt *packet.Packet) *fabric.Port {
 		hi := tb.hostOf[pkt.Dst]
 		if hi < 0 {
 			panic(fmt.Sprintf("routing: destination %s is not a host", tb.topo.Name(pkt.Dst)))
 		}
-		if p := single[sw][hi]; p != nil {
+		c := tb.col(hi)
+		if c.ports == nil {
+			tb.resolvePorts(c)
+		}
+		if p := c.ports[sw]; p != nil {
 			return p
 		}
-		choices := tb.next[sw][hi]
+		choices := c.choices[c.start[sw]:c.start[sw+1]]
 		if len(choices) == 0 {
 			return nil
 		}
-		return n.PortOn(sw, int(sel(pkt, choices)))
+		return n.PortOn(sw, int(tb.sel(pkt, choices)))
 	}
 }

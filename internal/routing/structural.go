@@ -1,0 +1,211 @@
+// Structural column sources: fat-tree and leaf–spine next-hop columns
+// derived from the builders' regular wiring instead of per-destination
+// graph search. A reverse BFS over a k-ary fat-tree costs O(links) per
+// destination; the structural rules below cost O(1) per (node, dst) row
+// and — critically — need no per-destination BFS state, which is what
+// makes lazy column materialization O(nodes) per column. The property
+// tests in lazy_test.go pin these rules to the BFS reference column by
+// column.
+package routing
+
+import (
+	"slices"
+
+	"github.com/tcdnet/tcd/internal/packet"
+	"github.com/tcdnet/tcd/internal/topo"
+)
+
+// Node roles in the structural tables.
+const (
+	roleHost uint8 = iota
+	roleEdge
+	roleAgg
+	roleCore
+	roleLeaf
+	roleSpine
+)
+
+// fatTreeCols derives fat-tree columns. For a destination host on edge E
+// in pod P the shortest-path DAG is: the destination's own edge forwards
+// on the access link; any other edge fans out over all its k/2 aggs; an
+// agg inside pod P forwards on its one link to E, an agg in another pod
+// fans out over all its k/2 cores; a core has exactly one agg in pod P
+// (agg i serves cores [i·k/2, (i+1)·k/2)); every other host forwards on
+// its NIC link.
+type fatTreeCols struct {
+	role    []uint8
+	pod     []int32 // pod of a host/edge/agg (unused for cores)
+	tierIdx []int32 // edge index of a host's edge / an edge; agg index
+	access  []int32 // a host's NIC link
+	up      [][]int32
+	// aggEdge[agg node] is indexed by edge index within the agg's pod;
+	// corePod[core node] is indexed by pod.
+	aggEdge [][]int32
+	corePod [][]int32
+}
+
+// FatTreeColumns returns the structural ColumnSource for a fat-tree.
+func FatTreeColumns(ft *topo.FatTree) ColumnSource {
+	n := len(ft.Nodes)
+	s := &fatTreeCols{
+		role:    make([]uint8, n),
+		pod:     make([]int32, n),
+		tierIdx: make([]int32, n),
+		access:  make([]int32, n),
+		up:      make([][]int32, n),
+		aggEdge: make([][]int32, n),
+		corePod: make([][]int32, n),
+	}
+	half := ft.K / 2
+	for i, c := range ft.Cores {
+		s.role[c] = roleCore
+		s.tierIdx[c] = int32(i)
+		s.corePod[c] = make([]int32, ft.K)
+	}
+	for p := range ft.Edges {
+		for i, e := range ft.Edges[p] {
+			s.role[e] = roleEdge
+			s.pod[e] = int32(p)
+			s.tierIdx[e] = int32(i)
+		}
+		for i, a := range ft.Aggs[p] {
+			s.role[a] = roleAgg
+			s.pod[a] = int32(p)
+			s.tierIdx[a] = int32(i)
+			s.aggEdge[a] = make([]int32, half)
+		}
+	}
+	for _, h := range ft.HostList {
+		pod, edge, _ := ft.HostPos(h)
+		s.role[h] = roleHost
+		s.pod[h] = int32(pod)
+		s.tierIdx[h] = int32(edge)
+		s.access[h] = int32(ft.Adj(h)[0].Link)
+	}
+	for _, row := range ft.Edges {
+		for _, e := range row {
+			for _, ad := range ft.Adj(e) {
+				if s.role[ad.Peer] == roleAgg {
+					s.up[e] = append(s.up[e], int32(ad.Link))
+				}
+			}
+			slices.Sort(s.up[e])
+		}
+	}
+	for _, row := range ft.Aggs {
+		for _, a := range row {
+			for _, ad := range ft.Adj(a) {
+				switch s.role[ad.Peer] {
+				case roleCore:
+					s.up[a] = append(s.up[a], int32(ad.Link))
+					s.corePod[ad.Peer][s.pod[a]] = int32(ad.Link)
+				case roleEdge:
+					s.aggEdge[a][s.tierIdx[ad.Peer]] = int32(ad.Link)
+				}
+			}
+			slices.Sort(s.up[a])
+		}
+	}
+	return s
+}
+
+// AppendColumn implements ColumnSource.
+func (s *fatTreeCols) AppendColumn(dst packet.NodeID, start []int32, choices []int32) []int32 {
+	dPod, dEdge := s.pod[dst], s.tierIdx[dst]
+	for ni := 0; ni < len(start)-1; ni++ {
+		id := packet.NodeID(ni)
+		switch s.role[ni] {
+		case roleHost:
+			if id != dst {
+				choices = append(choices, s.access[ni])
+			}
+		case roleEdge:
+			if s.pod[ni] == dPod && s.tierIdx[ni] == dEdge {
+				choices = append(choices, s.access[dst])
+			} else {
+				choices = append(choices, s.up[ni]...)
+			}
+		case roleAgg:
+			if s.pod[ni] == dPod {
+				choices = append(choices, s.aggEdge[ni][dEdge])
+			} else {
+				choices = append(choices, s.up[ni]...)
+			}
+		case roleCore:
+			choices = append(choices, s.corePod[ni][dPod])
+		}
+		start[ni+1] = int32(len(choices))
+	}
+	return choices
+}
+
+// leafSpineCols derives leaf–spine columns. Toward a host on leaf L: the
+// destination's leaf forwards on the access link, any other leaf fans out
+// over all its spine uplinks, and a spine forwards on its one link down
+// to L.
+type leafSpineCols struct {
+	role     []uint8
+	leafIdx  []int32 // a host's leaf index / a leaf's own index
+	access   []int32
+	up       [][]int32
+	spineLnk [][]int32 // spineLnk[spine node] indexed by leaf index
+}
+
+// LeafSpineColumns returns the structural ColumnSource for a leaf–spine.
+func LeafSpineColumns(ls *topo.LeafSpine) ColumnSource {
+	n := len(ls.Nodes)
+	s := &leafSpineCols{
+		role:     make([]uint8, n),
+		leafIdx:  make([]int32, n),
+		access:   make([]int32, n),
+		up:       make([][]int32, n),
+		spineLnk: make([][]int32, n),
+	}
+	for _, sp := range ls.Spines {
+		s.role[sp] = roleSpine
+		s.spineLnk[sp] = make([]int32, len(ls.Leaves))
+	}
+	for i, l := range ls.Leaves {
+		s.role[l] = roleLeaf
+		s.leafIdx[l] = int32(i)
+	}
+	for i, l := range ls.Leaves {
+		for _, ad := range ls.Adj(l) {
+			switch s.role[ad.Peer] {
+			case roleSpine:
+				s.up[l] = append(s.up[l], int32(ad.Link))
+				s.spineLnk[ad.Peer][i] = int32(ad.Link)
+			case roleHost:
+				s.role[ad.Peer] = roleHost
+				s.leafIdx[ad.Peer] = int32(i)
+				s.access[ad.Peer] = int32(ad.Link)
+			}
+		}
+		slices.Sort(s.up[l])
+	}
+	return s
+}
+
+// AppendColumn implements ColumnSource.
+func (s *leafSpineCols) AppendColumn(dst packet.NodeID, start []int32, choices []int32) []int32 {
+	dLeaf := s.leafIdx[dst]
+	for ni := 0; ni < len(start)-1; ni++ {
+		id := packet.NodeID(ni)
+		switch s.role[ni] {
+		case roleHost:
+			if id != dst {
+				choices = append(choices, s.access[ni])
+			}
+		case roleLeaf:
+			if s.leafIdx[ni] == dLeaf {
+				choices = append(choices, s.access[dst])
+			} else {
+				choices = append(choices, s.up[ni]...)
+			}
+		case roleSpine:
+			choices = append(choices, s.spineLnk[ni][dLeaf])
+		}
+		start[ni+1] = int32(len(choices))
+	}
+	return choices
+}
