@@ -38,19 +38,21 @@ import (
 )
 
 type options struct {
-	fabric   exp.FabricKind
-	seed     uint64
-	horizon  units.Time
-	full     bool
-	k        int
-	flows    int
-	workload string
-	series   string
-	voq      bool
-	runs     int
-	routeCap int
-	obs      obs.Config
-	faults   *fault.Spec
+	fabric    exp.FabricKind
+	seed      uint64
+	horizon   units.Time
+	full      bool
+	k         int
+	flows     int
+	workload  string
+	series    string
+	voq       bool
+	runs      int
+	routeCap  int
+	obs       obs.Config
+	faults    *fault.Spec
+	battery   string // -adversarial: battery spec path ("" = embedded default)
+	oracleOut string // -oracle-out: oracle report destination
 }
 
 // progressObs strips the trace/metrics sinks, keeping only progress
@@ -201,6 +203,7 @@ func runners() []runner {
 			for _, det := range []exp.DetectorKind{exp.DetBaseline, exp.DetTCD} {
 				cfg := exp.DefaultVictimFlapConfig(o.fabric, det)
 				cfg.Seed = o.seed
+				cfg.Faults = o.faults
 				// Back-to-back comparison runs cannot share trace/metrics
 				// sinks, so this experiment reports progress only.
 				cfg.Obs = o.progressObs()
@@ -221,6 +224,7 @@ func runners() []runner {
 			for _, cc := range []exp.CCKind{exp.CCDCQCNTCD, exp.CCTIMELYTCD} {
 				cfg := exp.DefaultFairnessConfig(o.fabric, cc)
 				cfg.Seed = o.seed
+				cfg.Faults = o.faults
 				applyHorizon(&cfg.Horizon, o)
 				if o.full {
 					cfg.Horizon = 400 * units.Millisecond
@@ -228,6 +232,45 @@ func runners() []runner {
 				out = append(out, exp.Fairness(cfg))
 			}
 			return out
+		}},
+		{"adversarial", "attack battery scored against the ground-truth oracle (both fabrics)", func(o options) []*exp.Result {
+			battery := exp.DefaultBattery()
+			if o.battery != "" {
+				b, err := exp.LoadBattery(o.battery)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "%v\n", err)
+					os.Exit(2)
+				}
+				battery = b
+			}
+			opt := exp.BatteryOptions{Seeds: []uint64{o.seed, o.seed + 1}}
+			if o.obs.ProgressOut != nil {
+				opt.OnDone = func(res *exp.Result) {
+					fmt.Fprintf(o.obs.ProgressOut, "adversarial: %s done\n", res.Name)
+				}
+			}
+			report, results := exp.RunAdversarialBattery(battery, opt)
+			dets := make([]string, 0, len(report.PerDetector))
+			for det := range report.PerDetector {
+				dets = append(dets, det)
+			}
+			sort.Strings(dets)
+			for _, det := range dets {
+				agg := report.PerDetector[det]
+				fmt.Printf("oracle %-10s runs=%d mean_accuracy=%.4f mean_misdetect=%.4f\n",
+					det, agg.Runs, agg.MeanAccuracy, agg.MeanMisdetect)
+			}
+			for _, c := range report.Contradictions {
+				fmt.Fprintf(os.Stderr, "oracle: CONTRADICTION: %s\n", c)
+			}
+			if o.oracleOut != "" {
+				if err := report.WriteJSON(o.oracleOut); err != nil {
+					fmt.Fprintf(os.Stderr, "%v\n", err)
+					os.Exit(1)
+				}
+				fmt.Fprintf(os.Stderr, "oracle: report -> %s\n", o.oracleOut)
+			}
+			return results
 		}},
 	}
 }
@@ -264,6 +307,7 @@ func tuneFatTree(cfg *exp.FatTreeConfig, o options, fullK, fullFlows int) {
 		cfg.MaxFlows = o.flows
 	}
 	cfg.RouteCap = o.routeCap
+	cfg.Faults = o.faults
 	applyHorizon(&cfg.Horizon, o)
 }
 
@@ -282,10 +326,13 @@ func main() {
 		csvdir   = flag.String("csvdir", "", "write every collected series as CSV files into this directory")
 		arch     = flag.String("arch", "oq", "switch architecture for observation runs: oq or voq")
 		runs     = flag.Int("runs", 1, "repeat the experiment over this many consecutive seeds and fold statistics")
-		faults   = flag.String("faults", "", "JSON fault schedule injected into observation experiments (fig3/fig4/fig12/fig13)")
-		doSweep  = flag.Bool("sweep", false, "run the multi-seed sweep engine even for -runs 1")
-		parallel = flag.Int("parallel", 0, "sweep worker count (0 = GOMAXPROCS); runs stay deterministic per seed")
-		shard    = flag.String("shard", "", `run only shard i of an n-way sweep split, format "i/n" (0-based; pair with -sweep across processes)`)
+		faults   = flag.String("faults", "", "JSON fault schedule (benign and adversarial kinds) injected into observation, victim-under-flap, fig20 and fat-tree experiments")
+
+		adversarial = flag.String("adversarial", "", "battery spec for -exp adversarial (empty = the committed default battery)")
+		oracleOut   = flag.String("oracle-out", "", "write the adversarial oracle report (scores, aggregates, contradictions) as JSON to this file")
+		doSweep     = flag.Bool("sweep", false, "run the multi-seed sweep engine even for -runs 1")
+		parallel    = flag.Int("parallel", 0, "sweep worker count (0 = GOMAXPROCS); runs stay deterministic per seed")
+		shard       = flag.String("shard", "", `run only shard i of an n-way sweep split, format "i/n" (0-based; pair with -sweep across processes)`)
 
 		topoStats = flag.Bool("topo-stats", false, "build only the topology and route table (no fabric, no workload), print size and memory figures, then exit")
 		topoKind  = flag.String("topo", "fattree", "-topo-stats topology: fattree (-k) or leafspine (-leaves/-spines/-hostsper)")
@@ -333,15 +380,17 @@ func main() {
 	}
 
 	o := options{
-		seed:     *seed,
-		full:     *full,
-		k:        *k,
-		flows:    *flows,
-		workload: *workload,
-		series:   *series,
-		voq:      strings.EqualFold(*arch, "voq"),
-		runs:     *runs,
-		routeCap: *routeCap,
+		seed:      *seed,
+		full:      *full,
+		k:         *k,
+		flows:     *flows,
+		workload:  *workload,
+		series:    *series,
+		voq:       strings.EqualFold(*arch, "voq"),
+		runs:      *runs,
+		routeCap:  *routeCap,
+		battery:   *adversarial,
+		oracleOut: *oracleOut,
 	}
 	switch strings.ToLower(*fabric) {
 	case "cee":

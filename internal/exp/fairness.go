@@ -3,6 +3,7 @@ package exp
 import (
 	"fmt"
 
+	"github.com/tcdnet/tcd/internal/fault"
 	"github.com/tcdnet/tcd/internal/host"
 	"github.com/tcdnet/tcd/internal/stats"
 	"github.com/tcdnet/tcd/internal/topo"
@@ -22,6 +23,11 @@ type FairnessConfig struct {
 	Horizon units.Time
 	Sample  units.Time
 	Seed    uint64
+	// Faults, if non-empty, is a fault schedule (including the
+	// adversarial kinds) armed against the rig — the -faults flag of
+	// cmd/tcdsim. Empty means a fault-free run, byte-identical to one
+	// without the injector.
+	Faults *fault.Spec
 }
 
 // DefaultFairnessConfig returns the paper's Fig 20 setup.
@@ -55,6 +61,7 @@ func Fairness(cfg FairnessConfig) *Result {
 		Record:  true,
 	})
 	res := NewResult(fmt.Sprintf("fig20-fairness-%s", cfg.CC))
+	inj := rig.mustInjectFaults(cfg.Faults)
 
 	line := 40 * units.Gbps
 	big := 100 * 1000 * units.MB
@@ -116,6 +123,11 @@ func Fairness(cfg FairnessConfig) *Result {
 		ue += f.UEPackets()
 	}
 	res.Scalars["b_ue_packets"] = float64(ue)
+	if inj.Armed > 0 {
+		res.Scalars["fault_actions_armed"] = float64(inj.Armed)
+		res.Scalars["fault_drops"] = float64(rig.Net.FaultDrops)
+		attackScalars(res, rig.Net)
+	}
 	return res
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/tcdnet/tcd/internal/cbfc"
+	"github.com/tcdnet/tcd/internal/fault"
 	"github.com/tcdnet/tcd/internal/host"
 	"github.com/tcdnet/tcd/internal/obs"
 	"github.com/tcdnet/tcd/internal/packet"
@@ -48,6 +49,11 @@ type FatTreeConfig struct {
 	// Obs wires event tracing, metrics and progress reporting into the
 	// rig (all off by default).
 	Obs obs.Config
+	// Faults, if non-empty, is a fault schedule (including the
+	// adversarial kinds) armed against the rig — the -faults flag of
+	// cmd/tcdsim. Empty means a fault-free run, byte-identical to one
+	// without the injector.
+	Faults *fault.Spec
 }
 
 // DefaultFatTreeConfig returns a laptop-scale run; cmd/tcdsim raises K,
@@ -112,6 +118,7 @@ func FatTree(cfg FatTreeConfig) *FatTreeOutcome {
 		RouteCap:  cfg.RouteCap,
 	})
 	res := NewResult(fmt.Sprintf("fattree-k%d-%s-%s-%s-%s", cfg.K, cfg.Kind, cfg.Det, cfg.CC, cfg.Workload))
+	inj := rig.mustInjectFaults(cfg.Faults)
 
 	r := rng.New(cfg.Seed + 31)
 	var flows []workload.Flow
@@ -187,6 +194,12 @@ func FatTree(cfg FatTreeConfig) *FatTreeOutcome {
 	res.Scalars["route_cols_evicted"] = float64(rig.Routes.Stats().Evicted)
 	res.Scalars["route_table_bytes"] = float64(rig.Routes.LiveBytes())
 	res.Scalars["route_table_eager_est_bytes"] = float64(rig.Routes.EagerBytesEstimate())
+	if inj.Armed > 0 {
+		res.Scalars["fault_actions_armed"] = float64(inj.Armed)
+		res.Scalars["fault_drops"] = float64(rig.Net.FaultDrops)
+		res.Scalars["fault_dropped_kb"] = float64(rig.Net.FaultDropPayload()) / 1000
+		attackScalars(res, rig.Net)
+	}
 	res.Tables = append(res.Tables, out.Slowdowns.Table("FCT slowdown by size"))
 	res.AttachTelemetry(cfg.Obs.Telemetry)
 	return out
@@ -267,6 +280,13 @@ func FatTreeComparison(base FatTreeConfig, stockCC, tcdCC CCKind) (*Result, *Fat
 	// the table memory is part of what the run demonstrates.
 	for _, key := range []string{"route_cols_live", "route_table_bytes", "route_table_eager_est_bytes"} {
 		res.Scalars[key] = t.Res.Scalars[key]
+	}
+	// Same for fault telemetry (present only when a schedule was armed):
+	// both sides run the identical schedule, so the TCD side stands in.
+	for _, key := range []string{"fault_actions_armed", "fault_drops", "fault_dropped_kb", "spoofed_ce", "forged_ctrl"} {
+		if v, ok := t.Res.Scalars[key]; ok {
+			res.Scalars[key] = v
+		}
 	}
 	res.Tables = append(res.Tables,
 		s.Slowdowns.Table("stock slowdown"),

@@ -48,6 +48,23 @@ func (r *Rig) mustInjectFaults(spec *fault.Spec) *fault.Injector {
 	return inj
 }
 
+// attackScalars surfaces the adversarial counters on a faulted run's
+// result. Only nonzero totals are emitted, so benign schedules (and the
+// fault-free goldens) add nothing.
+func attackScalars(res *Result, net *fabric.Network) {
+	var spoofed, forged uint64
+	for _, p := range net.Ports() {
+		spoofed += p.SpoofedCE
+		forged += p.ForgedCtrl
+	}
+	if spoofed > 0 {
+		res.Scalars["spoofed_ce"] = float64(spoofed)
+	}
+	if forged > 0 {
+		res.Scalars["forged_ctrl"] = float64(forged)
+	}
+}
+
 // VictimFlapConfig parameterizes the victim-under-flap experiment.
 type VictimFlapConfig struct {
 	// Kind selects CEE (PFC + ECN/TCD) or IB (CBFC + FECN/TCD).
@@ -68,6 +85,11 @@ type VictimFlapConfig struct {
 	Seed uint64
 	// Obs wires tracing/metrics/progress into the rig.
 	Obs obs.Config
+	// Faults, if non-empty, is an extra fault schedule (including the
+	// adversarial kinds) armed alongside the built-in flap — the -faults
+	// flag of cmd/tcdsim. Events merge into one injector so route
+	// rewrites and camouflage duty accounting stay coherent.
+	Faults *fault.Spec
 }
 
 // DefaultVictimFlapConfig returns the experiment's stock parameters: a
@@ -109,14 +131,18 @@ func VictimUnderFlap(cfg VictimFlapConfig) *Result {
 	})
 	res := NewResult(fmt.Sprintf("victim-under-flap-%s-%s", cfg.Kind, cfg.Det))
 
-	inj := rig.mustInjectFaults(&fault.Spec{Events: []fault.Event{{
+	spec := &fault.Spec{Events: []fault.Event{{
 		Kind:     "flap",
 		Link:     "R0-T2",
 		AtUs:     cfg.FlapFrom.Micros(),
 		PeriodUs: cfg.FlapPeriod.Micros(),
 		DownUs:   cfg.FlapDown.Micros(),
 		UntilUs:  cfg.FlapUntil.Micros(),
-	}}})
+	}}}
+	if !cfg.Faults.Empty() {
+		spec.Events = append(spec.Events, cfg.Faults.Events...)
+	}
+	inj := rig.mustInjectFaults(spec)
 
 	line := 40 * units.Gbps
 	ccKind := CCDCQCN
@@ -155,6 +181,7 @@ func VictimUnderFlap(cfg VictimFlapConfig) *Result {
 	res.Scalars["fault_actions_armed"] = float64(inj.Armed)
 	res.Scalars["fault_drops"] = float64(rig.Net.FaultDrops)
 	res.Scalars["fault_dropped_kb"] = float64(rig.Net.FaultDropPayload()) / 1000
+	attackScalars(res, rig.Net)
 	res.Scalars["p1_pause_us"] = rig.P1.PauseTime.Micros()
 	res.Scalars["p2_pause_us"] = rig.P2.PauseTime.Micros()
 	res.Scalars["p2_max_queue_kb"] = res.Series["P2_queue"].Max() / 1000

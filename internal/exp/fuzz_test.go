@@ -25,7 +25,7 @@ func specFromBytes(raw []byte) *fault.Spec {
 		link := links[int(b[1])%len(links)]
 		port := ports[int(b[1])%len(ports)]
 		until := at + 10 + float64(b[5])*4
-		switch b[0] % 5 {
+		switch b[0] % 9 {
 		case 0:
 			period := 20 + float64(b[3])
 			down := 1 + float64(b[4])*(period-2)/255
@@ -44,6 +44,28 @@ func specFromBytes(raw []byte) *fault.Spec {
 		case 4:
 			evs = append(evs, fault.Event{Kind: "freeze", Port: port, AtUs: at})
 			evs = append(evs, fault.Event{Kind: "thaw", Port: port, AtUs: at + 20 + float64(b[3])})
+		case 5:
+			// Pause storm, sustained (down 0) or bursty; down stays below
+			// the 20us period floor so every decode is a valid storm.
+			period := 20 + float64(b[3])
+			down := 0.0
+			if b[4]%2 == 1 {
+				down = 1 + float64(b[4]%16)
+			}
+			evs = append(evs, fault.Event{Kind: "pause-storm", Port: port, AtUs: at,
+				PeriodUs: period, DownUs: down, UntilUs: until})
+		case 6:
+			period := 20 + float64(b[3])
+			down := 1 + float64(b[4]%18)
+			evs = append(evs, fault.Event{Kind: "camouflage", Port: port, AtUs: at,
+				PeriodUs: period, DownUs: down, UntilUs: until})
+		case 7:
+			prob := (1 + float64(b[3]%100)) / 100
+			evs = append(evs, fault.Event{Kind: "spoof-mark", Port: port, AtUs: at,
+				Prob: prob, Seed: uint64(b[4]) + 1, UntilUs: until})
+		case 8:
+			evs = append(evs, fault.Event{Kind: "route-rewrite", Port: port, AtUs: at,
+				UntilUs: until})
 		}
 	}
 	return &fault.Spec{Events: evs}
@@ -98,6 +120,8 @@ func FuzzFaultSchedule(f *testing.F) {
 	f.Add([]byte{1, 1, 0, 30, 0, 0, 4, 3, 40, 60, 0, 90})                        // down/up + freeze/thaw
 	f.Add([]byte{2, 0, 20, 49, 7, 200, 3, 2, 60, 15, 0, 250})                    // ctrl-loss + ctrl-delay
 	f.Add([]byte{0, 3, 1, 0, 255, 255, 1, 2, 200, 90, 0, 0, 2, 1, 5, 99, 1, 30}) // mixed
+	f.Add([]byte{5, 0, 20, 30, 1, 100, 6, 3, 40, 10, 7, 200})                    // bursty storm + camouflage
+	f.Add([]byte{7, 2, 10, 49, 8, 250, 8, 1, 30, 0, 0, 90})                      // spoof-mark + route-rewrite
 
 	f.Fuzz(func(t *testing.T, raw []byte) {
 		spec := specFromBytes(raw)

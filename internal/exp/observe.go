@@ -189,6 +189,7 @@ func observeWithArch(cfg ObserveConfig, arch fabric.Arch) *Result {
 		res.Scalars["fault_actions_armed"] = float64(inj.Armed)
 		res.Scalars["fault_drops"] = float64(rig.Net.FaultDrops)
 		res.Scalars["fault_dropped_kb"] = float64(rig.Net.FaultDropPayload()) / 1000
+		attackScalars(res, rig.Net)
 	}
 
 	if cfg.Det == DetTCD {

@@ -253,6 +253,13 @@ type Port struct {
 	down      bool
 	frozen    bool
 	ctrlFault func(f CtrlFrame) (drop bool, delay units.Time)
+	// spoof, if non-nil, decides per outgoing data packet whether a
+	// compromised sender forges a CE mark on it (see SetSpoof). Attack is
+	// a bitmask of AttackTag provenance bits the adversarial injector set
+	// on this port; the oracle reads it to separate manufactured symptoms
+	// from organic congestion.
+	spoof  func(pkt *packet.Packet) bool
+	Attack uint8
 
 	// label caches Name() for event records (hot path; Name sprintfs).
 	label string
@@ -263,6 +270,8 @@ type Port struct {
 	TxDataBytes units.ByteSize
 	MarkedCE    uint64
 	MarkedUE    uint64
+	SpoofedCE   uint64 // CE marks forged by a spoof hook, not a detector
+	ForgedCtrl  uint64 // control frames forged by the adversarial injector
 	CtrlSent    uint64
 	PauseTime   units.Time // total time spent blocked (all priorities)
 	blockStart  units.Time
@@ -636,6 +645,22 @@ func (p *Port) transmit(pkt *packet.Packet, fromQueue bool) {
 			}
 		}
 	}
+	if p.spoof != nil && pkt.Kind == packet.Data && p.spoof(pkt) {
+		// A compromised sender forges a CE mark with no detector verdict
+		// behind it. The mark is indistinguishable on the wire but is
+		// accounted separately (SpoofedCE, not MarkedCE) so per-port
+		// detector counters stay honest for the oracle.
+		before := pkt.Code
+		pkt.Code = pkt.Code.MarkCE()
+		if pkt.Code != before {
+			p.SpoofedCE++
+			if r := p.net.cfg.Rec; r != nil {
+				qb := p.net.qbytes[int(p.pb)+int(pkt.Priority)]
+				r.Record(obs.Event{At: now, Kind: obs.KindSpoofMark, Prio: pkt.Priority,
+					Port: p.Label(), Flow: int64(pkt.Flow), Val: int64(qb)})
+			}
+		}
+	}
 	if p.gate != nil {
 		p.gate.OnSend(pkt.Priority, pkt.Size)
 	}
@@ -712,6 +737,18 @@ func (p *Port) receive(pkt *packet.Packet) {
 	pkt.InPort = int32(p.Index)
 	pkt.Hops++
 	if int(pkt.Hops) > p.net.cfg.MaxHops {
+		if p.net.faulted {
+			// A hostile route rewrite can manufacture a true forwarding
+			// loop; under an active fault the packet is TTL-dropped (the
+			// ledger moves to faultDropPayload, conservation holds)
+			// instead of crashing the run.
+			p.net.inFlightPayload -= pkt.Payload
+			if p.meter != nil {
+				p.meter.OnFree(now, pkt)
+			}
+			p.dropFaulted(pkt)
+			return
+		}
 		panic(fmt.Sprintf("fabric: routing loop: %s exceeded %d hops at %s",
 			pkt, p.net.cfg.MaxHops, p.net.Topo.Name(n.id)))
 	}

@@ -86,6 +86,86 @@ func (p *Port) SetCtrlFault(f func(CtrlFrame) (drop bool, delay units.Time)) {
 // clear, the fabric's lossless guarantees are in force.
 func (n *Network) Faulted() bool { return n.faulted }
 
+// MarkFaulted sets the fault latch without touching any port — used by
+// fault primitives (route rewrites, forged frames) that perturb behavior
+// through public seams rather than port flags, so the lossless-guarantee
+// invariants know to stand down.
+func (n *Network) MarkFaulted() { n.faulted = true }
+
+// Attack provenance bits the adversarial injector stamps on the ports it
+// targets. The oracle reads them to tell a manufactured symptom (a port
+// paused by forged frames, a queue held just under threshold by
+// camouflage traffic) from organic congestion.
+const (
+	// AttackStorm: the port's peer forges PFC pause floods at it.
+	AttackStorm uint8 = 1 << iota
+	// AttackCamouflage: micro pause trains keep this port's queue
+	// hovering just below its marking threshold.
+	AttackCamouflage
+	// AttackSpoof: the port forges CE marks on packets it sends.
+	AttackSpoof
+	// AttackReroute: a hostile route rewrite steers transit traffic
+	// through this port.
+	AttackReroute
+)
+
+// TagAttack stamps an attack-provenance bit on the port and latches the
+// network's fault flag.
+func (p *Port) TagAttack(bit uint8) {
+	p.Attack |= bit
+	p.net.faulted = true
+}
+
+// PeerIsHost reports whether the port's far end is a host NIC — the
+// route-rewrite fault uses it to preserve host-delivery hops, and the
+// oracle to scope its scan to switch egresses.
+func (p *Port) PeerIsHost() bool { return p.Peer.node.kind == topo.Host }
+
+// ForgeCtrl originates a control frame this port's flow-control stack
+// never asked for — the compromised-NIC primitive behind pause storms.
+// The frame takes the normal control path (serialization wait, link
+// delay, jitter, ctrl-fault interceptors), so it is indistinguishable on
+// the wire from an honest one; only the provenance counter and event
+// record tell them apart.
+func (p *Port) ForgeCtrl(f CtrlFrame) {
+	p.net.faulted = true
+	p.ForgedCtrl++
+	if rec := p.net.cfg.Rec; rec != nil {
+		rec.Record(obs.Event{
+			At: p.net.Sched.Now(), Kind: obs.KindForgedCtrl, Port: p.Label(),
+			Prio: f.Prio, Flow: -1, Val: int64(f.Kind),
+		})
+	}
+	p.SendCtrl(f)
+}
+
+// SetSpoof installs (or, with nil, removes) the congestion-spoofing hook:
+// for every data packet this port is about to serialize, the hook decides
+// whether a forged CE mark is stamped on it regardless of queue state.
+// The hook must be deterministic given the run's seed.
+func (p *Port) SetSpoof(fn func(pkt *packet.Packet) bool) {
+	p.spoof = fn
+	if fn != nil {
+		p.net.faulted = true
+	}
+}
+
+// OffTime reports the cumulative time this port's egress has spent
+// blocked by flow control, including the currently open OFF period (the
+// PauseTime counter alone settles only on unblock). The oracle's
+// per-window victim rule differences this.
+func (p *Port) OffTime(now units.Time) units.Time {
+	t := p.PauseTime
+	base := int(p.pb)
+	for k := 0; k < p.net.nPrio; k++ {
+		if p.net.blocked[base+k] {
+			t += now - p.blockStart
+			break
+		}
+	}
+	return t
+}
+
 // dropFaulted destroys a data-plane frame killed by a fault: counts it,
 // records it, and recycles the packet. Ingress/in-flight ledgers must be
 // settled by the caller before the packet dies.

@@ -17,11 +17,31 @@
 //     keeps working — the seed for growing pause storms and, on cyclic
 //     routes, full PFC deadlock on demand.
 //
+// Adversarial primitives (a compromised NIC or switch, not a broken one):
+//
+//   - pause-storm: forged PFC Xoff floods against a chosen egress port —
+//     sustained (down_us = 0: back-to-back pauses, one final resume) or
+//     bursty (0 < down_us < period_us: pause/resume trains). On CBFC
+//     fabrics the forged frames are protocol no-ops (credit state is
+//     cumulative), which is itself a measured cross-fabric contrast.
+//   - camouflage: micro pause trains that keep a root port's queue
+//     hovering just below its marking threshold — the victim-camouflage
+//     attack. Mechanically a bursty storm, but tagged separately and with
+//     its duty cycle exposed so the oracle can strip it from ground truth.
+//   - spoof-mark: a compromised sender forges CE marks on its outgoing
+//     data packets with a seeded probability — congestion signaling with
+//     no queue buildup behind it.
+//   - route-rewrite: a runtime routing override at one node steers
+//     transit traffic out a chosen port, manufacturing cyclic buffer
+//     dependency (deadlock-by-routing-loop) on demand. Host-delivery
+//     routes are preserved so local traffic still lands.
+//
 // Determinism: every action is a regular scheduler event with a fixed
-// timestamp, and the only randomness (ctrl-loss coin flips) draws from a
-// per-rule seeded rng.Source, so the same spec and seed replay exactly.
-// An empty schedule arms nothing and installs nothing — runs without
-// faults stay byte-identical to runs built before this package existed.
+// timestamp, and the only randomness (ctrl-loss coin flips, spoof-mark
+// coin flips) draws from a per-rule seeded rng.Source, so the same spec
+// and seed replay exactly. An empty schedule arms nothing and installs
+// nothing — runs without faults stay byte-identical to runs built before
+// this package existed.
 package fault
 
 import (
@@ -32,6 +52,8 @@ import (
 	"strings"
 
 	"github.com/tcdnet/tcd/internal/fabric"
+	"github.com/tcdnet/tcd/internal/obs"
+	"github.com/tcdnet/tcd/internal/packet"
 	"github.com/tcdnet/tcd/internal/rng"
 	"github.com/tcdnet/tcd/internal/sim"
 	"github.com/tcdnet/tcd/internal/units"
@@ -42,7 +64,7 @@ import (
 // "A->B" (the port owned by A on the link toward B).
 type Event struct {
 	// Kind is one of link-down, link-up, flap, ctrl-loss, ctrl-delay,
-	// freeze, thaw.
+	// freeze, thaw, pause-storm, camouflage, spoof-mark, route-rewrite.
 	Kind string `json:"kind"`
 	// AtUs is when the fault takes effect.
 	AtUs float64 `json:"at_us"`
@@ -63,9 +85,12 @@ type Event struct {
 	Prob float64 `json:"prob,omitempty"`
 	// DelayUs is the extra ctrl-delay delivery latency.
 	DelayUs float64 `json:"delay_us,omitempty"`
-	// Seed seeds the ctrl-loss coin flips (0 = derived from the rule's
-	// position in the spec).
+	// Seed seeds the ctrl-loss / spoof-mark coin flips (0 = derived from
+	// the rule's position in the spec).
 	Seed uint64 `json:"seed,omitempty"`
+	// Prio is the PFC priority / virtual lane a pause-storm or camouflage
+	// rule attacks.
+	Prio uint8 `json:"prio,omitempty"`
 }
 
 // Spec is a fault schedule.
@@ -76,7 +101,7 @@ type Spec struct {
 // Empty reports whether the spec schedules nothing.
 func (s *Spec) Empty() bool { return s == nil || len(s.Events) == 0 }
 
-// ParseSpec decodes a JSON fault schedule.
+// ParseSpec decodes and validates a JSON fault schedule.
 func ParseSpec(data []byte) (*Spec, error) {
 	var s Spec
 	dec := json.NewDecoder(strings.NewReader(string(data)))
@@ -84,7 +109,86 @@ func ParseSpec(data []byte) (*Spec, error) {
 	if err := dec.Decode(&s); err != nil {
 		return nil, fmt.Errorf("fault: parsing spec: %w", err)
 	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
 	return &s, nil
+}
+
+// knownKinds is every accepted Event.Kind. conflicts maps each kind to
+// the kind it cannot share a target and timestamp with: two such events
+// would race on the same flag with an order-of-spec winner — always a
+// spec bug, never an intent.
+var (
+	knownKinds = map[string]bool{
+		"link-down": true, "link-up": true, "flap": true,
+		"ctrl-loss": true, "ctrl-delay": true, "freeze": true, "thaw": true,
+		"pause-storm": true, "camouflage": true, "spoof-mark": true,
+		"route-rewrite": true,
+	}
+	conflicts = map[string]string{
+		"link-down": "link-up", "link-up": "link-down",
+		"freeze": "thaw", "thaw": "freeze",
+		"ctrl-loss": "ctrl-delay", "ctrl-delay": "ctrl-loss",
+	}
+)
+
+// finite reports whether f is a usable spec number: not NaN, not ±Inf.
+func finite(f float64) bool { return !math.IsNaN(f) && !math.IsInf(f, 0) }
+
+// checkNumbers rejects NaN/Inf/negative values in one event's numeric
+// fields — usToTime would otherwise round them into garbage timestamps
+// silently.
+func checkNumbers(ev Event) error {
+	for _, f := range []struct {
+		name string
+		val  float64
+	}{
+		{"at_us", ev.AtUs}, {"period_us", ev.PeriodUs}, {"down_us", ev.DownUs},
+		{"until_us", ev.UntilUs}, {"prob", ev.Prob}, {"delay_us", ev.DelayUs},
+	} {
+		if !finite(f.val) {
+			return fmt.Errorf("%s %s is not a finite number", ev.Kind, f.name)
+		}
+		if f.val < 0 {
+			return fmt.Errorf("%s %s must not be negative (got %g)", ev.Kind, f.name, f.val)
+		}
+	}
+	return nil
+}
+
+// Validate checks the spec's static well-formedness: known kinds, finite
+// non-negative numbers, and no conflicting events on the same target at
+// the same timestamp. Topology-dependent checks (does the link exist,
+// does the priority fit the fabric) happen at Inject time.
+func (s *Spec) Validate() error {
+	if s.Empty() {
+		return nil
+	}
+	type slot struct{ index int }
+	at := make(map[string]slot, len(s.Events))
+	for i, ev := range s.Events {
+		if !knownKinds[ev.Kind] {
+			return fmt.Errorf("fault: event %d: unknown kind %q", i, ev.Kind)
+		}
+		if err := checkNumbers(ev); err != nil {
+			return fmt.Errorf("fault: event %d: %w", i, err)
+		}
+		key := fmt.Sprintf("%s|%s|%s|%g", ev.Kind, ev.Link, ev.Port, ev.AtUs)
+		if prev, dup := at[key]; dup {
+			return fmt.Errorf("fault: events %d and %d are duplicates: %s on %q at %gus",
+				prev.index, i, ev.Kind, ev.Link+ev.Port, ev.AtUs)
+		}
+		at[key] = slot{i}
+		if opp := conflicts[ev.Kind]; opp != "" {
+			oppKey := fmt.Sprintf("%s|%s|%s|%g", opp, ev.Link, ev.Port, ev.AtUs)
+			if prev, clash := at[oppKey]; clash {
+				return fmt.Errorf("fault: events %d and %d conflict: %s vs %s on %q at %gus",
+					prev.index, i, opp, ev.Kind, ev.Link+ev.Port, ev.AtUs)
+			}
+		}
+	}
+	return nil
 }
 
 // LoadSpec reads and decodes a JSON fault schedule from a file.
@@ -110,6 +214,17 @@ type Injector struct {
 	Armed int
 	// first is the earliest action timestamp (units.Forever when none).
 	first units.Time
+
+	// override is the route-rewrite table, lazily installed as a wrapper
+	// around the network's routing function on the first route-rewrite
+	// rule. While the map is empty the wrapper is behaviorally inert, so
+	// the golden prefix before the first rewrite fires is preserved.
+	override map[packet.NodeID]*fabric.Port
+	// camoDuty records, per camouflaged port, the summed pause duty cycle
+	// (down_us/period_us) of its camouflage rules. The oracle subtracts
+	// it from the port's observed OFF fraction when deriving ground
+	// truth: that pause time was manufactured, not backpressure.
+	camoDuty map[*fabric.Port]float64
 }
 
 // usToTime converts spec microseconds to simulator time.
@@ -128,6 +243,9 @@ func Inject(n *fabric.Network, spec *Spec) (*Injector, error) {
 	}
 	now := n.Sched.Now()
 	for i, ev := range spec.Events {
+		if err := checkNumbers(ev); err != nil {
+			return nil, fmt.Errorf("fault: event %d: %w", i, err)
+		}
 		at := usToTime(ev.AtUs)
 		if at < now {
 			return nil, fmt.Errorf("fault: event %d (%s) at %v is in the past (now %v)", i, ev.Kind, at, now)
@@ -146,6 +264,14 @@ func Inject(n *fabric.Network, spec *Spec) (*Injector, error) {
 			err = in.armFreeze(i, ev, at, true)
 		case "thaw":
 			err = in.armFreeze(i, ev, at, false)
+		case "pause-storm":
+			err = in.armStorm(i, ev, at, false)
+		case "camouflage":
+			err = in.armStorm(i, ev, at, true)
+		case "spoof-mark":
+			err = in.armSpoof(i, ev, at)
+		case "route-rewrite":
+			err = in.armReroute(i, ev, at)
 		default:
 			err = fmt.Errorf("unknown kind %q", ev.Kind)
 		}
@@ -349,3 +475,192 @@ func (in *Injector) armCtrlFault(i int, ev Event, at units.Time) error {
 	}
 	return nil
 }
+
+// targetPort resolves the mandatory directed-port target of an
+// adversarial rule (they attack one egress, never a whole link).
+func (in *Injector) targetPort(ev Event) (*fabric.Port, error) {
+	if ev.Link != "" {
+		return nil, fmt.Errorf("%s needs a directed port target, not a link", ev.Kind)
+	}
+	if ev.Port == "" {
+		return nil, fmt.Errorf("%s needs a port target", ev.Kind)
+	}
+	return in.resolvePort(ev.Port)
+}
+
+// armStorm schedules a pause-storm or (camo=true) camouflage rule: forged
+// PFC pause frames originated by the target port's peer — the compromised
+// NIC or switch on the far end — against the target's egress gate. With
+// down_us = 0 the storm is sustained: a pause every period with a single
+// final resume at until_us. With 0 < down_us < period_us it is bursty:
+// pause at each period start, resume down_us later. Camouflage requires
+// the bursty form (a sustained pause would be a detectable outage, not
+// camouflage) and records its duty cycle for the oracle.
+func (in *Injector) armStorm(_ int, ev Event, at units.Time, camo bool) error {
+	target, err := in.targetPort(ev)
+	if err != nil {
+		return err
+	}
+	if int(ev.Prio) >= in.net.Config().Priorities {
+		return fmt.Errorf("%s prio %d out of range (fabric has %d priorities)",
+			ev.Kind, ev.Prio, in.net.Config().Priorities)
+	}
+	period := usToTime(ev.PeriodUs)
+	downFor := usToTime(ev.DownUs)
+	until := usToTime(ev.UntilUs)
+	switch {
+	case period <= 0:
+		return fmt.Errorf("%s needs period_us > 0", ev.Kind)
+	case until <= at:
+		return fmt.Errorf("%s needs until_us past at_us", ev.Kind)
+	case camo && (downFor <= 0 || downFor >= period):
+		return fmt.Errorf("camouflage needs 0 < down_us < period_us")
+	case !camo && downFor != 0 && (downFor <= 0 || downFor >= period):
+		return fmt.Errorf("pause-storm needs down_us = 0 (sustained) or 0 < down_us < period_us (bursty)")
+	case (int64(until-at)/int64(period)+1)*2 > maxFlapToggles:
+		return fmt.Errorf("%s expands to more than %d frames", ev.Kind, maxFlapToggles)
+	}
+	tag := fabric.AttackStorm
+	if camo {
+		tag = fabric.AttackCamouflage
+		if in.camoDuty == nil {
+			in.camoDuty = make(map[*fabric.Port]float64)
+		}
+		in.camoDuty[target] += ev.DownUs / ev.PeriodUs
+	}
+	forger := target.Peer
+	prio := ev.Prio
+	pause := func() {
+		target.TagAttack(tag)
+		forger.ForgeCtrl(fabric.CtrlFrame{Kind: fabric.CtrlPause, Prio: prio})
+	}
+	resume := func() {
+		forger.ForgeCtrl(fabric.CtrlFrame{Kind: fabric.CtrlResume, Prio: prio})
+	}
+	for t := at; t < until; t += period {
+		in.arm(t, pause)
+		if downFor > 0 {
+			up := t + downFor
+			if up > until {
+				up = until
+			}
+			in.arm(up, resume)
+		}
+	}
+	if downFor == 0 {
+		// Sustained storm: one final resume so the rule's damage has a
+		// defined end and post-attack recovery is measurable.
+		in.arm(until, resume)
+	}
+	return nil
+}
+
+// armSpoof schedules a spoof-mark rule: the target port forges CE marks
+// on its outgoing data packets with probability prob from at_us until
+// until_us (0 = rest of the run).
+func (in *Injector) armSpoof(i int, ev Event, at units.Time) error {
+	target, err := in.targetPort(ev)
+	if err != nil {
+		return err
+	}
+	if ev.Prob <= 0 || ev.Prob > 1 {
+		return fmt.Errorf("spoof-mark needs prob in (0, 1]")
+	}
+	seed := ev.Seed
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15 * uint64(i+1)
+	}
+	src := rng.New(seed)
+	prob := ev.Prob
+	hook := func(*packet.Packet) bool { return src.Float64() < prob }
+	in.arm(at, func() {
+		target.TagAttack(fabric.AttackSpoof)
+		target.SetSpoof(hook)
+	})
+	if ev.UntilUs > 0 {
+		until := usToTime(ev.UntilUs)
+		if until <= at {
+			return fmt.Errorf("spoof-mark needs until_us past at_us (or 0 for open-ended)")
+		}
+		in.arm(until, func() { target.SetSpoof(nil) })
+	}
+	return nil
+}
+
+// routeOverride lazily wraps the network's routing function with the
+// injector's rewrite table. Installed at Inject time but inert while the
+// table is empty, so the trace prefix before the first rewrite fires is
+// byte-identical to the unwrapped run.
+func (in *Injector) routeOverride() (map[packet.NodeID]*fabric.Port, error) {
+	if in.override != nil {
+		return in.override, nil
+	}
+	orig := in.net.Route
+	if orig == nil {
+		return nil, fmt.Errorf("route-rewrite needs a routing function installed")
+	}
+	in.override = make(map[packet.NodeID]*fabric.Port)
+	ov := in.override
+	in.net.Route = func(at packet.NodeID, pkt *packet.Packet) *fabric.Port {
+		if len(ov) != 0 {
+			if out, ok := ov[at]; ok {
+				// Preserve host delivery: the attack loops transit
+				// traffic, it does not black-hole local destinations.
+				if dflt := orig(at, pkt); dflt != nil && dflt.PeerIsHost() {
+					return dflt
+				}
+				return out
+			}
+		}
+		return orig(at, pkt)
+	}
+	return ov, nil
+}
+
+// armReroute schedules a route-rewrite rule: from at_us, every transit
+// packet at the target port's node is forced out that port (host-delivery
+// hops excepted); until_us removes the rewrite (0 = permanent).
+func (in *Injector) armReroute(_ int, ev Event, at units.Time) error {
+	out, err := in.targetPort(ev)
+	if err != nil {
+		return err
+	}
+	ov, err := in.routeOverride()
+	if err != nil {
+		return err
+	}
+	node := out.Node()
+	rec := out.Recorder()
+	in.arm(at, func() {
+		out.TagAttack(fabric.AttackReroute)
+		ov[node] = out
+		if rec != nil {
+			rec.Record(obs.Event{
+				At: in.net.Sched.Now(), Kind: obs.KindRouteRewrite,
+				Port: out.Label(), Flow: -1, Val: 1,
+			})
+		}
+	})
+	if ev.UntilUs > 0 {
+		until := usToTime(ev.UntilUs)
+		if until <= at {
+			return fmt.Errorf("route-rewrite needs until_us past at_us (or 0 for permanent)")
+		}
+		in.arm(until, func() {
+			delete(ov, node)
+			if rec != nil {
+				rec.Record(obs.Event{
+					At: in.net.Sched.Now(), Kind: obs.KindRouteRewrite,
+					Port: out.Label(), Flow: -1, Val: 0,
+				})
+			}
+		})
+	}
+	return nil
+}
+
+// CamouflageDuty reports the summed camouflage pause duty cycle armed
+// against p (0 for an unattacked port). The oracle subtracts it from the
+// port's observed OFF fraction: manufactured pause time must not make a
+// camouflaged root look like a victim to ground truth.
+func (in *Injector) CamouflageDuty(p *fabric.Port) float64 { return in.camoDuty[p] }

@@ -1,6 +1,7 @@
 package fault
 
 import (
+	"math"
 	"strings"
 	"testing"
 
@@ -8,6 +9,7 @@ import (
 	"github.com/tcdnet/tcd/internal/fabric"
 	"github.com/tcdnet/tcd/internal/host"
 	"github.com/tcdnet/tcd/internal/packet"
+	"github.com/tcdnet/tcd/internal/pfc"
 	"github.com/tcdnet/tcd/internal/sim"
 	"github.com/tcdnet/tcd/internal/topo"
 	"github.com/tcdnet/tcd/internal/units"
@@ -64,6 +66,78 @@ func TestFaultSpecLoadMissingFile(t *testing.T) {
 	}
 }
 
+func TestFaultSpecValidate(t *testing.T) {
+	nan, inf := math.NaN(), math.Inf(1)
+	cases := []struct {
+		name   string
+		events []Event
+		want   string // substring of the error; "" means valid
+	}{
+		{"valid pair", []Event{
+			{Kind: "link-down", Link: "a-b", AtUs: 5},
+			{Kind: "link-up", Link: "a-b", AtUs: 50},
+		}, ""},
+		{"valid adversarial kinds", []Event{
+			{Kind: "pause-storm", Port: "a->b", AtUs: 5, PeriodUs: 10, UntilUs: 50},
+			{Kind: "camouflage", Port: "a->c", AtUs: 5, PeriodUs: 10, DownUs: 2, UntilUs: 50},
+			{Kind: "spoof-mark", Port: "b->a", AtUs: 5, Prob: 0.5},
+			{Kind: "route-rewrite", Port: "c->a", AtUs: 5},
+		}, ""},
+		{"unknown kind", []Event{{Kind: "meteor-strike", AtUs: 1}}, "unknown kind"},
+		{"nan time", []Event{{Kind: "link-down", Link: "a-b", AtUs: nan}}, "not a finite number"},
+		{"inf until", []Event{{Kind: "spoof-mark", Port: "a->b", AtUs: 1, Prob: 0.5, UntilUs: inf}}, "not a finite number"},
+		{"negative time", []Event{{Kind: "link-down", Link: "a-b", AtUs: -3}}, "must not be negative"},
+		{"negative prob", []Event{{Kind: "spoof-mark", Port: "a->b", AtUs: 1, Prob: -0.5}}, "must not be negative"},
+		{"nan period", []Event{{Kind: "pause-storm", Port: "a->b", AtUs: 1, PeriodUs: nan, UntilUs: 9}}, "not a finite number"},
+		{"duplicate", []Event{
+			{Kind: "freeze", Port: "a->b", AtUs: 5},
+			{Kind: "freeze", Port: "a->b", AtUs: 5},
+		}, "duplicates"},
+		{"same kind different time ok", []Event{
+			{Kind: "freeze", Port: "a->b", AtUs: 5},
+			{Kind: "freeze", Port: "a->b", AtUs: 9},
+		}, ""},
+		{"conflicting toggle", []Event{
+			{Kind: "link-down", Link: "a-b", AtUs: 5},
+			{Kind: "link-up", Link: "a-b", AtUs: 5},
+		}, "conflict"},
+		{"conflicting freeze", []Event{
+			{Kind: "thaw", Port: "a->b", AtUs: 5},
+			{Kind: "freeze", Port: "a->b", AtUs: 5},
+		}, "conflict"},
+		{"conflicting ctrl", []Event{
+			{Kind: "ctrl-loss", Port: "a->b", AtUs: 5, Prob: 0.5},
+			{Kind: "ctrl-delay", Port: "a->b", AtUs: 5, DelayUs: 2},
+		}, "conflict"},
+		{"conflict on different ports ok", []Event{
+			{Kind: "link-down", Link: "a-b", AtUs: 5},
+			{Kind: "link-up", Link: "a-c", AtUs: 5},
+		}, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := (&Spec{Events: tc.events}).Validate()
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("want error containing %q, got %v", tc.want, err)
+			}
+		})
+	}
+	// ParseSpec runs Validate: a syntactically fine but conflicting spec
+	// must not parse.
+	bad := `{"events":[
+		{"kind":"link-down","link":"h0-s0","at_us":5},
+		{"kind":"link-up","link":"h0-s0","at_us":5}]}`
+	if _, err := ParseSpec([]byte(bad)); err == nil || !strings.Contains(err.Error(), "conflict") {
+		t.Errorf("ParseSpec accepted conflicting events: %v", err)
+	}
+}
+
 func TestFaultInjectValidation(t *testing.T) {
 	l := newLine(t)
 	cases := []struct {
@@ -83,6 +157,18 @@ func TestFaultInjectValidation(t *testing.T) {
 		{"flap explosion", Event{Kind: "flap", AtUs: 0, Link: "h0-s0", PeriodUs: 0.001, DownUs: 0.0005, UntilUs: 1e6}, "toggles"},
 		{"ctrl-loss bad prob", Event{Kind: "ctrl-loss", AtUs: 1, Port: "s0->h1", Prob: 1.5}, "prob in (0, 1]"},
 		{"ctrl-delay no delay", Event{Kind: "ctrl-delay", AtUs: 1, Port: "s0->h1"}, "delay_us > 0"},
+		{"storm on a link", Event{Kind: "pause-storm", AtUs: 1, Link: "h0-s0", PeriodUs: 10, UntilUs: 50}, "not a link"},
+		{"storm no target", Event{Kind: "pause-storm", AtUs: 1, PeriodUs: 10, UntilUs: 50}, "needs a port target"},
+		{"storm bad prio", Event{Kind: "pause-storm", AtUs: 1, Port: "s0->h1", Prio: 99, PeriodUs: 10, UntilUs: 50}, "out of range"},
+		{"storm no period", Event{Kind: "pause-storm", AtUs: 1, Port: "s0->h1", UntilUs: 50}, "period_us > 0"},
+		{"storm empty window", Event{Kind: "pause-storm", AtUs: 50, Port: "s0->h1", PeriodUs: 10, UntilUs: 50}, "until_us past at_us"},
+		{"storm bad duty", Event{Kind: "pause-storm", AtUs: 1, Port: "s0->h1", PeriodUs: 10, DownUs: 10, UntilUs: 50}, "bursty"},
+		{"storm explosion", Event{Kind: "pause-storm", AtUs: 0, Port: "s0->h1", PeriodUs: 0.001, UntilUs: 1e6}, "frames"},
+		{"camouflage sustained", Event{Kind: "camouflage", AtUs: 1, Port: "s0->h1", PeriodUs: 10, UntilUs: 50}, "0 < down_us < period_us"},
+		{"spoof bad prob", Event{Kind: "spoof-mark", AtUs: 1, Port: "s0->h1", Prob: 2}, "prob in (0, 1]"},
+		{"spoof empty window", Event{Kind: "spoof-mark", AtUs: 9, Port: "s0->h1", Prob: 0.5, UntilUs: 9}, "until_us past at_us"},
+		{"reroute empty window", Event{Kind: "route-rewrite", AtUs: 9, Port: "s0->h1", UntilUs: 9}, "until_us past at_us"},
+		{"reroute on a link", Event{Kind: "route-rewrite", AtUs: 1, Link: "h0-s0"}, "not a link"},
 	}
 	for _, tc := range cases {
 		_, err := Inject(l.net, &Spec{Events: []Event{tc.ev}})
@@ -199,6 +285,101 @@ func TestFaultStopCancelsPendingActions(t *testing.T) {
 	}
 	if l.net.Faulted() {
 		t.Fatal("network marked faulted though every action was canceled")
+	}
+}
+
+func TestFaultRerouteNeedsRoutingFunc(t *testing.T) {
+	g := topo.New()
+	s0 := g.AddSwitch("s0")
+	h0 := g.AddHost("h0")
+	g.Connect(h0, s0, 40*units.Gbps, units.Microsecond)
+	net := fabric.New(sim.New(), g, fabric.DefaultConfig())
+	_, err := Inject(net, &Spec{Events: []Event{{Kind: "route-rewrite", Port: "s0->h0", AtUs: 1}}})
+	if err == nil || !strings.Contains(err.Error(), "routing function") {
+		t.Fatalf("want routing-function error, got %v", err)
+	}
+}
+
+// TestFaultStopMidStorm: Stop racing a bursty pause-storm between a forged
+// pause and its forged resume cancels the resume — the last fired pause
+// keeps the gate down (no honest meter ever paused it, so none will resume
+// it) and the network stays marked faulted, while no further frames are
+// forged.
+func TestFaultStopMidStorm(t *testing.T) {
+	l := newLine(t)
+	pfc.Install(l.net, pfc.DefaultConfig())
+	inj, err := Inject(l.net, &Spec{Events: []Event{{
+		Kind: "pause-storm", Port: "s0->h1", AtUs: 10, PeriodUs: 10, DownUs: 8, UntilUs: 200,
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	forged := func() uint64 {
+		var n uint64
+		for _, p := range l.net.Ports() {
+			n += p.ForgedCtrl
+		}
+		return n
+	}
+	// Pause fires at 10us, its resume at 18us: stop in between.
+	l.sched.RunUntil(15 * units.Microsecond)
+	if got := forged(); got != 1 {
+		t.Fatalf("mid-storm forged %d frames, want exactly the first pause", got)
+	}
+	inj.Stop()
+	l.sched.RunUntil(400 * units.Microsecond)
+	if got := forged(); got != 1 {
+		t.Fatalf("storm kept forging after Stop: %d frames", got)
+	}
+	if l.flow.Done {
+		t.Fatal("flow completed through a gate whose forged resume was cancelled")
+	}
+	if !l.net.Faulted() {
+		t.Fatal("network no longer faulted though a forged pause already fired")
+	}
+}
+
+// TestFaultGoldenPrefixBoundary: a run with a fault schedule is identical
+// to the unfaulted run strictly before FirstInjection and diverges after.
+func TestFaultGoldenPrefixBoundary(t *testing.T) {
+	build := func(storm bool) *line {
+		l := newLine(t)
+		pfc.Install(l.net, pfc.DefaultConfig())
+		if storm {
+			inj, err := Inject(l.net, &Spec{Events: []Event{{
+				Kind: "pause-storm", Port: "s0->h1", AtUs: 20, PeriodUs: 10, DownUs: 8, UntilUs: 250,
+			}}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if inj.FirstInjection() != 20*units.Microsecond {
+				t.Fatalf("first injection %v, want 20us", inj.FirstInjection())
+			}
+		}
+		return l
+	}
+	clean, attacked := build(false), build(true)
+	// Strictly before the boundary the runs are indistinguishable.
+	clean.sched.RunUntil(19 * units.Microsecond)
+	attacked.sched.RunUntil(19 * units.Microsecond)
+	if c, a := clean.flow.BytesRxed(), attacked.flow.BytesRxed(); c != a {
+		t.Fatalf("prefix diverged before first injection: clean rxed %d, attacked %d", c, a)
+	}
+	if attacked.net.Faulted() {
+		t.Fatal("network marked faulted before the first injection fired")
+	}
+	// Past the boundary the storm bites: at 100us the clean flow is done
+	// while the attacked one is still being paused 80% of every period.
+	clean.sched.RunUntil(100 * units.Microsecond)
+	attacked.sched.RunUntil(100 * units.Microsecond)
+	if !clean.flow.Done {
+		t.Fatal("clean flow did not complete")
+	}
+	if c, a := clean.flow.BytesRxed(), attacked.flow.BytesRxed(); a >= c {
+		t.Fatalf("storm did not bite: clean rxed %d, attacked %d", c, a)
+	}
+	if !attacked.net.Faulted() {
+		t.Fatal("attacked network not marked faulted after the storm")
 	}
 }
 

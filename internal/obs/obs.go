@@ -90,6 +90,15 @@ const (
 	// (Port is the initial-trigger port, Val the cycle length, Aux the
 	// time the trigger has been starved in ps).
 	KindCreditStall
+	// KindForgedCtrl: the adversarial injector forged a flow-control frame
+	// from a compromised NIC (Port is the forging port, Val the CtrlKind).
+	KindForgedCtrl
+	// KindSpoofMark: the adversarial injector forged a CE mark on a packet
+	// with no real queue buildup behind it (Val is the true queue length).
+	KindSpoofMark
+	// KindRouteRewrite: the adversarial injector rewrote a node's routing
+	// (Port is the forced egress; Val 1 = installed, 0 = removed).
+	KindRouteRewrite
 
 	numKinds
 )
@@ -118,6 +127,9 @@ var kindNames = [numKinds]string{
 	KindFaultDrop:       "fault.drop",
 	KindDeadlock:        "pfc.deadlock",
 	KindCreditStall:     "cbfc.stall",
+	KindForgedCtrl:      "attack.forge",
+	KindSpoofMark:       "attack.spoof",
+	KindRouteRewrite:    "attack.reroute",
 }
 
 func (k Kind) String() string {
