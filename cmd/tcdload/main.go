@@ -1,0 +1,92 @@
+// Command tcdload drives a live tcdsimd with the ReqBench-style
+// open-loop load harness (internal/serve/loadgen): Poisson arrivals at
+// a target RPS, a warm/cold spec mix exercising the result cache, and
+// a JSON report of latency percentiles, throughput, and cache hit
+// rates. Exits nonzero on corrupted results, transport errors, or an
+// unmet -min-requests / -require-warm-hits floor, so it doubles as the
+// CI soak gate.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/tcdnet/tcd/internal/serve/loadgen"
+)
+
+func main() {
+	url := flag.String("url", "http://127.0.0.1:9322", "daemon base URL")
+	rps := flag.Float64("rps", 50, "target open-loop arrival rate")
+	duration := flag.Duration("duration", 20*time.Second, "load duration")
+	warm := flag.Float64("warm", 0.5, "fraction of arrivals drawing warm (cacheable) specs")
+	warmPool := flag.Int("warm-pool", 8, "distinct warm specs")
+	exp := flag.String("exp", "deadlock-unit", "experiment to submit")
+	horizonUs := flag.Float64("horizon-us", 0, "simulated horizon per request in µs (0 = experiment default)")
+	fabric := flag.String("fabric", "cee", "fabric kind: cee or ib")
+	seed := flag.Int64("seed", 1, "harness RNG seed")
+	report := flag.String("report", "", "write the JSON report here ('-' = stdout)")
+	minRequests := flag.Int("min-requests", 0, "fail unless at least this many requests completed OK")
+	requireWarmHits := flag.Bool("require-warm-hits", false, "fail unless the warm-class cache hit rate is nonzero")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	rep, err := loadgen.Run(ctx, loadgen.Config{
+		BaseURL:      *url,
+		RPS:          *rps,
+		Duration:     *duration,
+		WarmFraction: *warm,
+		WarmPool:     *warmPool,
+		Exp:          *exp,
+		HorizonUs:    *horizonUs,
+		Fabric:       *fabric,
+		Seed:         *seed,
+	})
+	if rep == nil {
+		fmt.Fprintln(os.Stderr, "tcdload:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, rep.Summary())
+	if *report != "" {
+		out := os.Stdout
+		if *report != "-" {
+			f, ferr := os.Create(*report)
+			if ferr != nil {
+				fmt.Fprintln(os.Stderr, "tcdload:", ferr)
+				os.Exit(1)
+			}
+			defer f.Close()
+			out = f
+		}
+		if werr := rep.WriteJSON(out); werr != nil {
+			fmt.Fprintln(os.Stderr, "tcdload:", werr)
+			os.Exit(1)
+		}
+	}
+
+	fail := func(format string, args ...interface{}) {
+		fmt.Fprintf(os.Stderr, "tcdload: FAIL: "+format+"\n", args...)
+		os.Exit(1)
+	}
+	if rep.Corrupted > 0 {
+		fail("%d corrupted results (same spec hash, different bytes)", rep.Corrupted)
+	}
+	if rep.Errors > 0 {
+		fail("%d request errors", rep.Errors)
+	}
+	if *minRequests > 0 && rep.OK < *minRequests {
+		fail("only %d OK requests (< %d)", rep.OK, *minRequests)
+	}
+	if *requireWarmHits && rep.Warm.CacheHits+rep.Warm.Coalesced == 0 {
+		fail("no warm cache hits (%d warm requests)", rep.Warm.Requests)
+	}
+	if err != nil {
+		fail("interrupted: %v", err)
+	}
+}

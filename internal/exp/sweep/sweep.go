@@ -160,6 +160,10 @@ type RunResult struct {
 type Options struct {
 	// Parallel is the worker count; <= 0 means GOMAXPROCS.
 	Parallel int
+	// OnStart, if non-nil, is called just before a run begins executing
+	// on a worker (in start order, serialized — safe to print from).
+	// Runs skipped by cancellation never see OnStart.
+	OnStart func(index int, spec Spec)
 	// OnDone, if non-nil, is called after each run completes (in
 	// completion order, serialized — safe to print from).
 	OnDone func(index int, r *RunResult)
@@ -191,12 +195,17 @@ func Run(ctx context.Context, specs []Spec, fn RunFunc, opt Options) []*RunResul
 	out := make([]*RunResult, len(specs))
 	idx := make(chan int)
 	var wg sync.WaitGroup
-	var mu sync.Mutex // serializes OnDone
+	var mu sync.Mutex // serializes OnStart/OnDone
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range idx {
+				if opt.OnStart != nil && ctx.Err() == nil {
+					mu.Lock()
+					opt.OnStart(i, specs[i])
+					mu.Unlock()
+				}
 				r := runOne(ctx, specs[i], fn)
 				out[i] = r
 				if opt.OnDone != nil {

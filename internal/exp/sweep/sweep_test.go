@@ -239,3 +239,54 @@ func TestWriteJSONIncludesErrors(t *testing.T) {
 		}
 	}
 }
+
+// TestOnStartHook: OnStart fires once per executed run, serialized, with
+// the matching index/spec pair, and canceled runs never see it.
+func TestOnStartHook(t *testing.T) {
+	grid := Grid{
+		Exps:    []string{"observe"},
+		Fabrics: []exp.FabricKind{exp.CEE},
+		Dets:    []exp.DetectorKind{exp.DetBaseline},
+		Seeds:   Seq(1, 4),
+	}
+	specs := grid.Specs()
+	var startOrder []int
+	rs := Run(context.Background(), specs, observeRun, Options{
+		Parallel: 4,
+		OnStart: func(i int, sp Spec) {
+			// The Options mutex serializes hooks; appending without extra
+			// locking is the guarantee under test (run with -race).
+			startOrder = append(startOrder, i)
+			if sp != specs[i] {
+				t.Errorf("OnStart index %d got spec %s, want %s", i, sp, specs[i])
+			}
+		},
+	})
+	if len(startOrder) != len(specs) {
+		t.Fatalf("OnStart fired %d times for %d runs", len(startOrder), len(specs))
+	}
+	seen := map[int]bool{}
+	for _, i := range startOrder {
+		if seen[i] {
+			t.Errorf("OnStart fired twice for run %d", i)
+		}
+		seen[i] = true
+	}
+	for _, r := range rs {
+		if r.Err != nil {
+			t.Fatalf("run %s: %v", r.Spec, r.Err)
+		}
+	}
+
+	// A canceled context skips pending runs without calling OnStart.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	calls := 0
+	Run(ctx, specs, observeRun, Options{
+		Parallel: 2,
+		OnStart:  func(int, Spec) { calls++ },
+	})
+	if calls != 0 {
+		t.Errorf("OnStart fired %d times under a canceled context", calls)
+	}
+}

@@ -1,0 +1,210 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/tcdnet/tcd/internal/exp"
+	"github.com/tcdnet/tcd/internal/fault"
+	"github.com/tcdnet/tcd/internal/obs"
+	"github.com/tcdnet/tcd/internal/units"
+)
+
+// RunCfg is the resolved parameter set one catalog run receives. Every
+// field is derived from the canonical JobSpec (plus the per-run seed the
+// sweep engine assigns), so a RunCfg — like the spec — fully determines
+// the run's result bytes.
+type RunCfg struct {
+	Fabric  exp.FabricKind
+	Det     exp.DetectorKind
+	CC      exp.CCKind
+	Seed    uint64
+	Horizon units.Time // 0 = experiment default
+	Faults  *fault.Spec
+	Obs     obs.Config
+}
+
+// Entry describes one service-addressable experiment: which spec fields
+// it consumes and how to run it. Experiments exposed here are exactly
+// the deterministic, parameter-addressable subset of cmd/tcdsim's
+// runner table — comparisons that need CLI-only knobs (fat-tree arity,
+// workload files, oracle reports) stay on the CLI.
+type Entry struct {
+	// Desc is the human-readable catalog line.
+	Desc string
+	// Dets lists the accepted detector overrides (nil = the experiment
+	// fixes its detector and rejects the det field).
+	Dets []exp.DetectorKind
+	// DefaultDet is the detector an empty det field selects.
+	DefaultDet exp.DetectorKind
+	// CCs / DefaultCC mirror Dets for the congestion-control axis.
+	CCs       []exp.CCKind
+	DefaultCC exp.CCKind
+	// Faults reports whether the experiment accepts a fault schedule.
+	Faults bool
+	// Run executes one isolated simulation.
+	Run func(rc RunCfg) []*exp.Result
+}
+
+// observeDets is the detector menu of the §3.1 observation scenarios.
+var observeDets = []exp.DetectorKind{exp.DetBaseline, exp.DetTCD, exp.DetTCDAdaptive, exp.DetNPECN}
+
+// Catalog maps experiment names to entries. It is immutable after init;
+// handlers and spec validation read it concurrently.
+var Catalog = map[string]Entry{
+	"fig3": {
+		Desc: "single congestion point, detector-selectable (baseline default)",
+		Dets: observeDets, DefaultDet: exp.DetBaseline, Faults: true,
+		Run: func(rc RunCfg) []*exp.Result { return observeRun(rc, false) },
+	},
+	"fig4": {
+		Desc: "multiple congestion points, detector-selectable (baseline default)",
+		Dets: observeDets, DefaultDet: exp.DetBaseline, Faults: true,
+		Run: func(rc RunCfg) []*exp.Result { return observeRun(rc, true) },
+	},
+	"fig12": {
+		Desc: "single congestion point with TCD (und -> non-congestion)",
+		Dets: observeDets, DefaultDet: exp.DetTCD, Faults: true,
+		Run: func(rc RunCfg) []*exp.Result { return observeRun(rc, false) },
+	},
+	"fig13": {
+		Desc: "multiple congestion points with TCD (und -> congestion)",
+		Dets: observeDets, DefaultDet: exp.DetTCD, Faults: true,
+		Run: func(rc RunCfg) []*exp.Result { return observeRun(rc, true) },
+	},
+	"fig11": {
+		Desc: "testbed marking staircase (UE/CE fractions over time)",
+		Run: func(rc RunCfg) []*exp.Result {
+			cfg := exp.DefaultTestbedConfig(rc.Fabric)
+			cfg.Seed = rc.Seed
+			if rc.Horizon > 0 {
+				cfg.Horizon = rc.Horizon
+			}
+			return []*exp.Result{exp.Testbed(cfg)}
+		},
+	},
+	"fig14": {
+		Desc: "sensitivity of the TCD parameter eps",
+		Run: func(rc RunCfg) []*exp.Result {
+			res, _ := exp.Fig14(rc.Fabric, rc.Horizon, rc.Seed)
+			return []*exp.Result{res}
+		},
+	},
+	"table3": {
+		Desc: "victim flows marked CE under ECN/FECN/TCD",
+		Run: func(rc RunCfg) []*exp.Result {
+			res, _ := exp.Table3(rc.Horizon, rc.Seed)
+			return []*exp.Result{res}
+		},
+	},
+	"fig20": {
+		Desc: "fairness of the TCD rate-adjustment rules",
+		CCs:  []exp.CCKind{exp.CCDCQCNTCD, exp.CCTIMELYTCD}, DefaultCC: exp.CCDCQCNTCD,
+		Faults: true,
+		Run: func(rc RunCfg) []*exp.Result {
+			cfg := exp.DefaultFairnessConfig(rc.Fabric, rc.CC)
+			cfg.Seed = rc.Seed
+			cfg.Faults = rc.Faults
+			if rc.Horizon > 0 {
+				cfg.Horizon = rc.Horizon
+			}
+			return []*exp.Result{exp.Fairness(cfg)}
+		},
+	},
+	"victim-under-flap": {
+		Desc: "victim flow during a flapping link, detector-selectable",
+		Dets: []exp.DetectorKind{exp.DetBaseline, exp.DetTCD}, DefaultDet: exp.DetBaseline,
+		Faults: true,
+		Run: func(rc RunCfg) []*exp.Result {
+			cfg := exp.DefaultVictimFlapConfig(rc.Fabric, rc.Det)
+			cfg.Seed = rc.Seed
+			cfg.Faults = rc.Faults
+			cfg.Obs = rc.Obs
+			if rc.Horizon > 0 {
+				cfg.Horizon = rc.Horizon
+			}
+			return []*exp.Result{exp.VictimUnderFlap(cfg)}
+		},
+	},
+	"deadlock-unit": {
+		Desc: "3-switch ring PFC/CBFC deadlock with initial-trigger attribution",
+		Run: func(rc RunCfg) []*exp.Result {
+			cfg := exp.DefaultDeadlockUnitConfig(rc.Fabric)
+			cfg.Seed = rc.Seed
+			cfg.Obs = rc.Obs
+			if rc.Horizon > 0 {
+				cfg.Horizon = rc.Horizon
+			}
+			return []*exp.Result{exp.DeadlockUnit(cfg)}
+		},
+	},
+}
+
+// observeRun shares the §3.1 observation wiring across fig3/4/12/13.
+func observeRun(rc RunCfg, multi bool) []*exp.Result {
+	cfg := exp.DefaultObserveConfig(rc.Fabric, rc.Det, multi)
+	cfg.Seed = rc.Seed
+	cfg.Faults = rc.Faults
+	cfg.Obs = rc.Obs
+	if rc.Horizon > 0 {
+		cfg.Horizon = rc.Horizon
+	}
+	return []*exp.Result{exp.Observe(cfg)}
+}
+
+// CatalogNames returns the experiment names in sorted order.
+func CatalogNames() []string {
+	names := make([]string, 0, len(Catalog))
+	for name := range Catalog {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func parseFabric(s string) (exp.FabricKind, error) {
+	switch s {
+	case "cee":
+		return exp.CEE, nil
+	case "ib":
+		return exp.IB, nil
+	}
+	return 0, fmt.Errorf("serve: unknown fabric %q (want cee or ib)", s)
+}
+
+func parseDet(s string) (exp.DetectorKind, error) {
+	for _, d := range []exp.DetectorKind{exp.DetNone, exp.DetBaseline, exp.DetTCD, exp.DetTCDAdaptive, exp.DetNPECN} {
+		if d.String() == s {
+			return d, nil
+		}
+	}
+	return 0, fmt.Errorf("serve: unknown det %q", s)
+}
+
+func parseCC(s string) (exp.CCKind, error) {
+	for _, c := range []exp.CCKind{exp.CCFixed, exp.CCDCQCN, exp.CCDCQCNTCD,
+		exp.CCTIMELY, exp.CCTIMELYTCD, exp.CCIBCC, exp.CCIBCCTCD} {
+		if c.String() == s {
+			return c, nil
+		}
+	}
+	return 0, fmt.Errorf("serve: unknown cc %q", s)
+}
+
+func containsDet(ds []exp.DetectorKind, d exp.DetectorKind) bool {
+	for _, x := range ds {
+		if x == d {
+			return true
+		}
+	}
+	return false
+}
+
+func containsCC(cs []exp.CCKind, c exp.CCKind) bool {
+	for _, x := range cs {
+		if x == c {
+			return true
+		}
+	}
+	return false
+}

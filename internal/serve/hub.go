@@ -1,0 +1,175 @@
+package serve
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// Event is one SSE frame: a typed, JSON-bodied message on a job's
+// stream. Types: "queued", "coalesced", "cached", "running", "progress",
+// "run-start", "run-done", "done", "failed", "canceled".
+type Event struct {
+	Type string
+	Data string // a single-line JSON object (or a quoted string)
+}
+
+// terminal reports whether the event ends the stream.
+func (e Event) terminal() bool {
+	switch e.Type {
+	case "done", "failed", "canceled":
+		return true
+	}
+	return false
+}
+
+// sse renders the wire format. Data is guaranteed single-line by the
+// publishers (newlines are escaped inside JSON strings), so one data:
+// line suffices.
+func (e Event) sse() string {
+	return fmt.Sprintf("event: %s\ndata: %s\n\n", e.Type, strings.ReplaceAll(e.Data, "\n", " "))
+}
+
+// replayCap bounds the per-topic replay buffer: a late subscriber
+// catches up on at most this many events (older ones are dropped
+// oldest-first, counted per topic).
+const replayCap = 256
+
+// subscriber receives live events on ch; the hub never blocks on a slow
+// subscriber — events past the channel buffer are dropped and counted.
+type subscriber struct {
+	ch chan Event
+}
+
+type topic struct {
+	buf     []Event
+	dropped uint64
+	subs    map[*subscriber]struct{}
+	// closed marks a terminal event published; late subscribers get the
+	// full replay and an immediately-closed channel.
+	closed bool
+}
+
+// hub routes per-job event streams: publishers append to a bounded
+// replay buffer and fan out to live subscribers; subscribers get the
+// replay first, then the live channel. All operations share one mutex —
+// event rates here are job-lifecycle scale (a handful per job plus
+// progress ticks), not packet scale.
+type hub struct {
+	mu      sync.Mutex
+	topics  map[string]*topic
+	dropped uint64
+	closed  bool
+}
+
+func newHub() *hub {
+	return &hub{topics: make(map[string]*topic)}
+}
+
+func (h *hub) topicLocked(id string) *topic {
+	t := h.topics[id]
+	if t == nil {
+		t = &topic{subs: make(map[*subscriber]struct{})}
+		h.topics[id] = t
+	}
+	return t
+}
+
+// publish appends ev to the topic's replay buffer and offers it to every
+// live subscriber. A terminal event closes the topic: subscriber
+// channels are closed after delivery and later publishes are ignored.
+func (h *hub) publish(id string, ev Event) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	t := h.topicLocked(id)
+	if t.closed {
+		return
+	}
+	if len(t.buf) >= replayCap {
+		copy(t.buf, t.buf[1:])
+		t.buf = t.buf[:len(t.buf)-1]
+		t.dropped++
+	}
+	t.buf = append(t.buf, ev)
+	for s := range t.subs {
+		select {
+		case s.ch <- ev:
+		default:
+			h.dropped++
+		}
+	}
+	if ev.terminal() {
+		t.closed = true
+		for s := range t.subs {
+			close(s.ch)
+		}
+		t.subs = make(map[*subscriber]struct{})
+	}
+}
+
+// subscribe returns the replay so far and a live subscription. On a
+// closed topic (terminal event already published, or hub shut down) the
+// returned channel is already closed, so the caller's receive loop ends
+// after the replay.
+func (h *hub) subscribe(id string) (replay []Event, s *subscriber) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	t := h.topicLocked(id)
+	replay = append([]Event(nil), t.buf...)
+	s = &subscriber{ch: make(chan Event, 64)}
+	if t.closed || h.closed {
+		close(s.ch)
+		return replay, s
+	}
+	t.subs[s] = struct{}{}
+	return replay, s
+}
+
+// unsubscribe detaches s (no-op if the topic already closed it).
+func (h *hub) unsubscribe(id string, s *subscriber) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if t := h.topics[id]; t != nil {
+		if _, ok := t.subs[s]; ok {
+			delete(t.subs, s)
+			close(s.ch)
+		}
+	}
+}
+
+// drop forgets a topic's replay buffer (called when its job is evicted).
+func (h *hub) drop(id string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	delete(h.topics, id)
+}
+
+// close shuts every stream down: all subscriber channels close, further
+// publishes and subscriptions find a closed hub.
+func (h *hub) close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.closed = true
+	for _, t := range h.topics {
+		if !t.closed {
+			t.closed = true
+			for s := range t.subs {
+				close(s.ch)
+			}
+			t.subs = make(map[*subscriber]struct{})
+		}
+	}
+}
+
+// droppedCount reports fan-out drops (slow subscribers).
+func (h *hub) droppedCount() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.dropped
+}

@@ -1,0 +1,351 @@
+// Package loadgen is the daemon's ReqBench-style load and soak harness:
+// an open-loop generator that fires submissions at a live tcdsimd
+// according to a Poisson arrival process (arrivals keep coming whether
+// or not earlier requests finished — the property that makes overload
+// visible instead of self-throttling away), mixes warm specs (drawn from
+// a small pool, exercising the result cache) with cold specs (unique
+// seeds, forcing fresh simulation), verifies every response body against
+// the first body seen for its spec hash (a byte-level corruption check
+// the cache makes exact), and reports latency percentiles, throughput
+// and warm-vs-cold cache behavior as a JSON report.
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Config parameterizes one load run.
+type Config struct {
+	// BaseURL is the daemon root, e.g. "http://127.0.0.1:9322".
+	BaseURL string
+	// RPS is the target open-loop arrival rate.
+	RPS float64
+	// Duration is how long arrivals are generated (draining extra).
+	Duration time.Duration
+	// WarmFraction is the probability an arrival draws a warm spec
+	// (seed from the warm pool) instead of a cold one (unique seed).
+	WarmFraction float64
+	// WarmPool is the number of distinct warm specs (default 8).
+	WarmPool int
+	// Exp is the experiment submitted (default "deadlock-unit").
+	Exp string
+	// HorizonUs overrides the simulated horizon per request (0 = the
+	// experiment default).
+	HorizonUs float64
+	// Fabric selects cee (default) or ib.
+	Fabric string
+	// MaxInFlight bounds concurrently outstanding requests; an arrival
+	// past the bound is counted as dropped, not silently skipped
+	// (default 4096).
+	MaxInFlight int
+	// Seed feeds the harness RNG (arrival process and warm/cold coin).
+	Seed int64
+	// Client overrides the HTTP client (default: pooled, 60 s timeout).
+	Client *http.Client
+}
+
+// Latency summarizes one latency population in milliseconds.
+type Latency struct {
+	Count  int     `json:"count"`
+	MeanMs float64 `json:"mean_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P95Ms  float64 `json:"p95_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	MaxMs  float64 `json:"max_ms"`
+}
+
+// ClassReport breaks results down by warm/cold request class.
+type ClassReport struct {
+	Requests  int     `json:"requests"`
+	OK        int     `json:"ok"`
+	CacheHits int     `json:"cache_hits"`      // X-Cache: hit
+	Coalesced int     `json:"cache_coalesced"` // X-Cache: coalesced
+	Misses    int     `json:"cache_misses"`    // X-Cache: miss
+	HitRate   float64 `json:"hit_rate"`        // (hits+coalesced)/ok
+	Latency   Latency `json:"latency"`
+}
+
+// Report is the harness output, committed as LOAD_<rev>.json and
+// uploaded from CI soaks.
+type Report struct {
+	BaseURL      string  `json:"base_url"`
+	Exp          string  `json:"exp"`
+	Fabric       string  `json:"fabric"`
+	HorizonUs    float64 `json:"horizon_us"`
+	TargetRPS    float64 `json:"target_rps"`
+	WarmFraction float64 `json:"warm_fraction"`
+	WarmPool     int     `json:"warm_pool"`
+	DurationSec  float64 `json:"duration_sec"`
+	WallSec      float64 `json:"wall_sec"`
+
+	Requests    int     `json:"requests"`
+	OK          int     `json:"ok"`
+	Rejected    int     `json:"rejected"` // 429 backpressure
+	Errors      int     `json:"errors"`   // transport/5xx failures
+	Dropped     int     `json:"dropped"`  // over MaxInFlight, never sent
+	Corrupted   int     `json:"corrupted"`
+	AchievedRPS float64 `json:"achieved_rps"` // completed OK per wall second
+
+	Warm    ClassReport `json:"warm"`
+	Cold    ClassReport `json:"cold"`
+	Overall Latency     `json:"latency"`
+
+	// DistinctSpecs is how many spec hashes the run touched; each maps
+	// to exactly one result digest when Corrupted == 0.
+	DistinctSpecs int `json:"distinct_specs"`
+}
+
+// outcome is one finished request.
+type outcome struct {
+	warm    bool
+	ok      bool
+	status  int
+	cache   string // X-Cache header
+	latency time.Duration
+}
+
+// Run drives the load and returns the report. It returns early only on
+// ctx cancellation; 429s and request errors are recorded, not fatal.
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	if cfg.RPS <= 0 {
+		return nil, fmt.Errorf("loadgen: RPS must be positive")
+	}
+	if cfg.Duration <= 0 {
+		return nil, fmt.Errorf("loadgen: Duration must be positive")
+	}
+	if !(cfg.WarmFraction >= 0 && cfg.WarmFraction <= 1) { // also rejects NaN
+		return nil, fmt.Errorf("loadgen: WarmFraction must be in [0,1]")
+	}
+	if cfg.WarmPool <= 0 {
+		cfg.WarmPool = 8
+	}
+	if cfg.Exp == "" {
+		cfg.Exp = "deadlock-unit"
+	}
+	if cfg.Fabric == "" {
+		cfg.Fabric = "cee"
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 4096
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{
+			Timeout: 60 * time.Second,
+			Transport: &http.Transport{
+				MaxIdleConns:        cfg.MaxInFlight,
+				MaxIdleConnsPerHost: cfg.MaxInFlight,
+			},
+		}
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		outcomes []outcome
+		digests  = make(map[string]string) // spec hash -> result sha256
+		corrupt  int
+		inflight = make(chan struct{}, cfg.MaxInFlight)
+	)
+
+	rep := &Report{
+		BaseURL: cfg.BaseURL, Exp: cfg.Exp, Fabric: cfg.Fabric,
+		HorizonUs: cfg.HorizonUs, TargetRPS: cfg.RPS,
+		WarmFraction: cfg.WarmFraction, WarmPool: cfg.WarmPool,
+		DurationSec: cfg.Duration.Seconds(),
+	}
+
+	submitURL := cfg.BaseURL + "/v1/jobs?wait=1"
+	start := time.Now()
+	deadline := start.Add(cfg.Duration)
+	coldSeed := uint64(1 << 32) // far from the warm pool's seeds
+	next := start
+	for {
+		now := time.Now()
+		if now.After(deadline) || ctx.Err() != nil {
+			break
+		}
+		if next.After(now) {
+			select {
+			case <-time.After(next.Sub(now)):
+			case <-ctx.Done():
+			}
+		}
+		// Exponential inter-arrival: the open-loop Poisson process.
+		next = next.Add(time.Duration(rng.ExpFloat64() / cfg.RPS * float64(time.Second)))
+
+		warm := rng.Float64() < cfg.WarmFraction
+		var seed uint64
+		if warm {
+			seed = 1 + uint64(rng.Intn(cfg.WarmPool))
+		} else {
+			coldSeed++
+			seed = coldSeed
+		}
+		rep.Requests++
+		select {
+		case inflight <- struct{}{}:
+		default:
+			rep.Dropped++
+			continue
+		}
+		body := specBody(cfg, seed)
+		wg.Add(1)
+		go func(warm bool, body []byte) {
+			defer wg.Done()
+			defer func() { <-inflight }()
+			o := outcome{warm: warm}
+			t0 := time.Now()
+			resp, err := client.Post(submitURL, "application/json", bytes.NewReader(body))
+			o.latency = time.Since(t0)
+			if err != nil {
+				mu.Lock()
+				outcomes = append(outcomes, o)
+				mu.Unlock()
+				return
+			}
+			payload, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			o.status = resp.StatusCode
+			o.cache = resp.Header.Get("X-Cache")
+			if resp.StatusCode == http.StatusOK {
+				o.ok = true
+				hash := resp.Header.Get("X-Spec-Hash")
+				sum := sha256.Sum256(payload)
+				digest := hex.EncodeToString(sum[:])
+				mu.Lock()
+				if prev, seen := digests[hash]; seen && prev != digest {
+					corrupt++
+				} else if !seen {
+					digests[hash] = digest
+				}
+				outcomes = append(outcomes, o)
+				mu.Unlock()
+				return
+			}
+			mu.Lock()
+			outcomes = append(outcomes, o)
+			mu.Unlock()
+		}(warm, body)
+	}
+	wg.Wait()
+	rep.WallSec = time.Since(start).Seconds()
+
+	var overall, warmMs, coldMs []float64
+	for _, o := range outcomes {
+		cls, ms := &rep.Cold, &coldMs
+		if o.warm {
+			cls, ms = &rep.Warm, &warmMs
+		}
+		cls.Requests++
+		switch {
+		case o.ok:
+			cls.OK++
+			rep.OK++
+			switch o.cache {
+			case "hit":
+				cls.CacheHits++
+			case "coalesced":
+				cls.Coalesced++
+			case "miss":
+				cls.Misses++
+			}
+			v := float64(o.latency.Microseconds()) / 1000
+			overall = append(overall, v)
+			*ms = append(*ms, v)
+		case o.status == http.StatusTooManyRequests:
+			rep.Rejected++
+		default:
+			rep.Errors++
+		}
+	}
+	rep.Warm.finish(warmMs)
+	rep.Cold.finish(coldMs)
+	rep.Overall = foldLatency(overall)
+	rep.Corrupted = corrupt
+	rep.DistinctSpecs = len(digests)
+	if rep.WallSec > 0 {
+		rep.AchievedRPS = float64(rep.OK) / rep.WallSec
+	}
+	return rep, ctx.Err()
+}
+
+// specBody renders the submission JSON for one arrival.
+func specBody(cfg Config, seed uint64) []byte {
+	spec := map[string]interface{}{
+		"exp":    cfg.Exp,
+		"fabric": cfg.Fabric,
+		"seed":   seed,
+	}
+	if cfg.HorizonUs > 0 {
+		spec["horizon_us"] = cfg.HorizonUs
+	}
+	b, _ := json.Marshal(spec)
+	return b
+}
+
+func (c *ClassReport) finish(vals []float64) {
+	c.Latency = foldLatency(vals)
+	if c.OK > 0 {
+		c.HitRate = float64(c.CacheHits+c.Coalesced) / float64(c.OK)
+	}
+}
+
+// foldLatency computes exact percentiles from the full sample set (the
+// harness holds every latency in memory; soak scales here are 1e3-1e6
+// samples, trivially affordable).
+func foldLatency(vals []float64) Latency {
+	l := Latency{Count: len(vals)}
+	if len(vals) == 0 {
+		return l
+	}
+	sort.Float64s(vals)
+	sum := 0.0
+	for _, v := range vals {
+		sum += v
+	}
+	l.MeanMs = sum / float64(len(vals))
+	l.P50Ms = pct(vals, 0.50)
+	l.P95Ms = pct(vals, 0.95)
+	l.P99Ms = pct(vals, 0.99)
+	l.MaxMs = vals[len(vals)-1]
+	return l
+}
+
+func pct(sorted []float64, p float64) float64 {
+	i := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// WriteJSON writes the report, indented, to w.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Summary renders the one-line human digest printed after a run.
+func (r *Report) Summary() string {
+	return fmt.Sprintf("loadgen: %d req (%d ok, %d rejected, %d errors, %d dropped, %d corrupted) in %.1fs — %.0f rps, p50 %.1fms p95 %.1fms p99 %.1fms, warm hit rate %.2f",
+		r.Requests, r.OK, r.Rejected, r.Errors, r.Dropped, r.Corrupted, r.WallSec,
+		r.AchievedRPS, r.Overall.P50Ms, r.Overall.P95Ms, r.Overall.P99Ms, r.Warm.HitRate)
+}

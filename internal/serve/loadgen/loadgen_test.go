@@ -1,0 +1,105 @@
+package loadgen
+
+import (
+	"context"
+	"io"
+	"math"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"github.com/tcdnet/tcd/internal/serve"
+)
+
+// TestMiniSoak drives a short in-process soak against a real daemon
+// (stub executor — the soak exercises the service plumbing, not the
+// simulator) and requires zero corrupted results, zero errors, and a
+// nonzero warm-cache hit rate.
+func TestMiniSoak(t *testing.T) {
+	exec := func(ctx context.Context, spec *serve.JobSpec, progress io.Writer) ([]byte, error) {
+		// The result must be a pure function of the spec for the
+		// harness's integrity check to mean anything.
+		return append([]byte(`{"echo":`), append(spec.Canonical(), '}')...), nil
+	}
+	s := serve.New(serve.Config{Workers: 4, QueueCap: 256, Exec: exec})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.Close()
+
+	rep, err := Run(context.Background(), Config{
+		BaseURL:      ts.URL,
+		RPS:          300,
+		Duration:     2 * time.Second,
+		WarmFraction: 0.5,
+		WarmPool:     4,
+		Seed:         42,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	t.Log(rep.Summary())
+
+	if rep.OK < 100 {
+		t.Fatalf("only %d OK requests; soak too thin to judge", rep.OK)
+	}
+	if rep.Corrupted > 0 {
+		t.Fatalf("%d corrupted results", rep.Corrupted)
+	}
+	if rep.Errors > 0 {
+		t.Fatalf("%d request errors", rep.Errors)
+	}
+	if rep.Warm.CacheHits+rep.Warm.Coalesced == 0 {
+		t.Fatal("warm class never hit the cache")
+	}
+	if rep.Warm.HitRate <= 0 {
+		t.Fatal("warm hit rate not computed")
+	}
+	// Warm specs deduplicate to the pool; cold specs are all distinct.
+	if rep.DistinctSpecs > rep.Cold.OK+rep.WarmPool {
+		t.Errorf("distinct specs %d exceeds cold %d + pool %d", rep.DistinctSpecs, rep.Cold.OK, rep.WarmPool)
+	}
+	if rep.Overall.Count != rep.OK {
+		t.Errorf("latency count %d != OK %d", rep.Overall.Count, rep.OK)
+	}
+	if rep.Overall.P50Ms > rep.Overall.P95Ms || rep.Overall.P95Ms > rep.Overall.P99Ms || rep.Overall.P99Ms > rep.Overall.MaxMs {
+		t.Errorf("percentiles not monotone: %+v", rep.Overall)
+	}
+}
+
+// TestConfigValidation: bad harness parameters fail fast.
+func TestConfigValidation(t *testing.T) {
+	for _, cfg := range []Config{
+		{RPS: 0, Duration: time.Second},
+		{RPS: -5, Duration: time.Second},
+		{RPS: 10, Duration: 0},
+		{RPS: 10, Duration: time.Second, WarmFraction: 1.5},
+		{RPS: 10, Duration: time.Second, WarmFraction: math.NaN()},
+	} {
+		if _, err := Run(context.Background(), cfg); err == nil {
+			t.Errorf("Run accepted invalid config %+v", cfg)
+		}
+	}
+}
+
+// TestPercentiles pins the exact-percentile math.
+func TestPercentiles(t *testing.T) {
+	vals := make([]float64, 100)
+	for i := range vals {
+		vals[i] = float64(i + 1) // 1..100
+	}
+	l := foldLatency(vals)
+	if l.P50Ms != 50 || l.P95Ms != 95 || l.P99Ms != 99 || l.MaxMs != 100 {
+		t.Errorf("percentiles: %+v", l)
+	}
+	if l.MeanMs != 50.5 {
+		t.Errorf("mean %g, want 50.5", l.MeanMs)
+	}
+	one := foldLatency([]float64{7})
+	if one.P50Ms != 7 || one.P99Ms != 7 || one.Count != 1 {
+		t.Errorf("single sample: %+v", one)
+	}
+	zero := foldLatency(nil)
+	if zero.Count != 0 || zero.P99Ms != 0 {
+		t.Errorf("empty: %+v", zero)
+	}
+}

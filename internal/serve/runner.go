@@ -1,0 +1,124 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+
+	"github.com/tcdnet/tcd/internal/exp"
+	"github.com/tcdnet/tcd/internal/exp/sweep"
+	"github.com/tcdnet/tcd/internal/obs"
+	"github.com/tcdnet/tcd/internal/units"
+)
+
+// ExecFunc runs one job to completion and returns the deterministic
+// result bytes. progress receives human-readable lines to stream over
+// SSE (it may be nil). Implementations must honor ctx between runs.
+type ExecFunc func(ctx context.Context, spec *JobSpec, progress io.Writer) ([]byte, error)
+
+// CatalogExec is the default executor: it expands the job into per-seed
+// sweep specs and funnels them through the sweep engine, which gives
+// every run the same isolation a CLI sweep gets — a private scheduler,
+// RNG and recorder per run, panic capture, and context-checked starts —
+// then encodes the per-run results (plus the cross-seed aggregate for
+// multi-run jobs) exactly like cmd/tcdsim's -json export.
+func CatalogExec(ctx context.Context, spec *JobSpec, progress io.Writer) ([]byte, error) {
+	ent, ok := Catalog[spec.Exp]
+	if !ok {
+		return nil, fmt.Errorf("serve: unknown exp %q", spec.Exp)
+	}
+	fab, err := parseFabric(spec.Fabric)
+	if err != nil {
+		return nil, err
+	}
+	var det exp.DetectorKind
+	if spec.Det != "" {
+		if det, err = parseDet(spec.Det); err != nil {
+			return nil, err
+		}
+	}
+	var cc exp.CCKind
+	if spec.CC != "" {
+		if cc, err = parseCC(spec.CC); err != nil {
+			return nil, err
+		}
+	}
+
+	specs := sweep.Grid{
+		Exps:    []string{spec.Exp},
+		Fabrics: []exp.FabricKind{fab},
+		Dets:    []exp.DetectorKind{det},
+		CCs:     []exp.CCKind{cc},
+		Seeds:   sweep.Seq(spec.Seed, spec.Runs),
+		Horizon: spec.Horizon(),
+	}.Specs()
+
+	fn := func(sp sweep.Spec) []*exp.Result {
+		rc := RunCfg{
+			Fabric:  sp.Fabric,
+			Det:     sp.Det,
+			CC:      sp.CC,
+			Seed:    sp.Seed,
+			Horizon: sp.Horizon,
+			Faults:  spec.Faults,
+		}
+		if progress != nil {
+			// Stream the simulator's own progress ticker: one line per
+			// simulated millisecond, cheap at service horizons.
+			rc.Obs = obs.Config{ProgressEvery: units.Millisecond, ProgressOut: progress}
+		}
+		return ent.Run(rc)
+	}
+
+	// Parallel: 1 — jobs parallelize across the daemon's worker pool,
+	// not inside one job, so a single submission cannot monopolize the
+	// pool's cores.
+	opt := sweep.Options{Parallel: 1}
+	if progress != nil {
+		opt.OnStart = func(i int, sp sweep.Spec) {
+			fmt.Fprintf(progress, "run %d/%d start %s\n", i+1, len(specs), sp)
+		}
+		opt.OnDone = func(i int, r *sweep.RunResult) {
+			fmt.Fprintf(progress, "run %d/%d done %s (%v)\n", i+1, len(specs), r.Spec, r.Wall)
+		}
+	}
+	rs := sweep.Run(ctx, specs, fn, opt)
+	for _, r := range rs {
+		if r.Err != nil {
+			return nil, fmt.Errorf("serve: run %s: %w", r.Spec, r.Err)
+		}
+	}
+	var results []*exp.Result
+	for _, r := range rs {
+		results = append(results, r.Results...)
+	}
+	if spec.Runs > 1 {
+		results = append(results, sweep.Aggregate(rs)...)
+	}
+	return encodeResults(results)
+}
+
+// encodeResults mirrors cmd/tcdsim's -json export: a single object for
+// one result, a JSON array otherwise. exp.Result.WriteJSON sorts every
+// map, so equal specs produce byte-identical output.
+func encodeResults(results []*exp.Result) ([]byte, error) {
+	var buf bytes.Buffer
+	if len(results) == 1 {
+		if err := results[0].WriteJSON(&buf); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	}
+	buf.WriteString("[\n")
+	for i, r := range results {
+		if i > 0 {
+			buf.WriteString(",\n")
+		}
+		if err := r.WriteJSON(&buf); err != nil {
+			return nil, err
+		}
+	}
+	buf.WriteString("]\n")
+	return buf.Bytes(), nil
+}

@@ -1,0 +1,183 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// readSSETypes consumes an SSE stream and returns the event types in
+// order until the stream closes.
+func readSSETypes(t *testing.T, r io.Reader) []string {
+	t.Helper()
+	var types []string
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "event: ") {
+			types = append(types, strings.TrimPrefix(line, "event: "))
+		}
+	}
+	return types
+}
+
+// TestSSELifecycle subscribes before the job runs and checks the event
+// sequence queued -> running -> (progress...) -> done, with the stream
+// closing after the terminal event.
+func TestSSELifecycle(t *testing.T) {
+	release := make(chan struct{})
+	exec := func(ctx context.Context, spec *JobSpec, progress io.Writer) ([]byte, error) {
+		select {
+		case <-release:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		fmt.Fprintln(progress, "tick 1")
+		fmt.Fprintln(progress, "tick 2")
+		return []byte(`{"ok":true}`), nil
+	}
+	s := New(Config{Workers: 1, Exec: exec})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.Close()
+
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(shortSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	id := resp.Header.Get("X-Job-Id")
+
+	// Subscribe while the job is still parked, then let it run.
+	es, err := http.Get(ts.URL + "/v1/jobs/" + id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer es.Body.Close()
+	if ct := es.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("events content type %q", ct)
+	}
+	close(release)
+
+	typesCh := make(chan []string, 1)
+	go func() { typesCh <- readSSETypes(t, es.Body) }()
+	var types []string
+	select {
+	case types = <-typesCh:
+	case <-time.After(10 * time.Second):
+		t.Fatal("SSE stream never closed after terminal event")
+	}
+
+	joined := strings.Join(types, ",")
+	for _, w := range []string{"queued", "running", "progress", "done"} {
+		if !strings.Contains(joined, w) {
+			t.Errorf("event sequence %q missing %q", joined, w)
+		}
+	}
+	if types[len(types)-1] != "done" {
+		t.Errorf("stream did not end on the terminal event: %q", joined)
+	}
+	if idxOf(types, "queued") > idxOf(types, "running") || idxOf(types, "running") > idxOf(types, "done") {
+		t.Errorf("events out of order: %q", joined)
+	}
+}
+
+func idxOf(ss []string, want string) int {
+	for i, s := range ss {
+		if s == want {
+			return i
+		}
+	}
+	return len(ss)
+}
+
+// TestSSELateSubscriber: a subscriber arriving after the job finished
+// still gets the full replay ending in the terminal event.
+func TestSSELateSubscriber(t *testing.T) {
+	exec := func(ctx context.Context, spec *JobSpec, progress io.Writer) ([]byte, error) {
+		fmt.Fprintln(progress, "tick")
+		return []byte(`{"ok":true}`), nil
+	}
+	s := New(Config{Workers: 1, Exec: exec})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.Close()
+
+	code, hdr, _ := submitWait(t, ts.URL, shortSpec)
+	if code != http.StatusOK {
+		t.Fatalf("submit: %d", code)
+	}
+	id := hdr.Get("X-Job-Id")
+
+	es, err := http.Get(ts.URL + "/v1/jobs/" + id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer es.Body.Close()
+	done := make(chan []string, 1)
+	go func() { done <- readSSETypes(t, es.Body) }()
+	select {
+	case types := <-done:
+		joined := strings.Join(types, ",")
+		for _, w := range []string{"queued", "running", "progress", "done"} {
+			if !strings.Contains(joined, w) {
+				t.Errorf("late replay %q missing %q", joined, w)
+			}
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("late subscriber's stream never closed")
+	}
+}
+
+// TestHubReplayBound: the replay buffer drops oldest events past the cap
+// and keeps counting.
+func TestHubReplayBound(t *testing.T) {
+	h := newHub()
+	for i := 0; i < replayCap+50; i++ {
+		h.publish("t", Event{"progress", fmt.Sprintf(`{"i":%d}`, i)})
+	}
+	replay, sub := h.subscribe("t")
+	h.unsubscribe("t", sub)
+	if len(replay) != replayCap {
+		t.Fatalf("replay length %d, want %d", len(replay), replayCap)
+	}
+	if want := fmt.Sprintf(`{"i":%d}`, 50); replay[0].Data != want {
+		t.Errorf("oldest retained event %s, want %s", replay[0].Data, want)
+	}
+	h.mu.Lock()
+	droppedReplay := h.topics["t"].dropped
+	h.mu.Unlock()
+	if droppedReplay != 50 {
+		t.Errorf("topic drop count %d, want 50", droppedReplay)
+	}
+}
+
+// TestHubSlowSubscriber: a subscriber that never drains loses events
+// (counted) but never blocks the publisher.
+func TestHubSlowSubscriber(t *testing.T) {
+	h := newHub()
+	_, sub := h.subscribe("t")
+	defer h.unsubscribe("t", sub)
+	donePub := make(chan struct{})
+	go func() {
+		for i := 0; i < 500; i++ {
+			h.publish("t", Event{"progress", "{}"})
+		}
+		close(donePub)
+	}()
+	select {
+	case <-donePub:
+	case <-time.After(5 * time.Second):
+		t.Fatal("publisher blocked on a slow subscriber")
+	}
+	if h.droppedCount() == 0 {
+		t.Error("expected fan-out drops for a subscriber that never drains")
+	}
+}
